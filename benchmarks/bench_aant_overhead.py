@@ -1,0 +1,63 @@
+"""Section 4: AANT byte-overhead and crypto cost vs ring size k.
+
+The paper's trade-off: "the larger the set of ambiguous signers is used,
+the stronger the anonymity the sender has, but with more certificates to
+transmit."  This bench regenerates the overhead table from the cost
+model, cross-checks the ring-signature wire size against the *real* RST
+implementation, and times real signing/verification at several k.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.crypto.ring_signature import ring_sign, ring_verify
+from repro.crypto.rsa import generate_keypair
+from repro.experiments.overhead import aant_overhead_table, format_aant_overhead
+
+_rng = random.Random(21)
+_keys = [generate_keypair(512, _rng) for _ in range(17)]
+
+
+def _ring(members: int):
+    return [k.public() for k in _keys[:members]]
+
+
+@pytest.mark.benchmark(group="aant")
+def test_aant_overhead_table(benchmark):
+    rows = benchmark(aant_overhead_table)
+    text = format_aant_overhead(rows)
+    # Cross-check the model against the real implementation at k = 4:
+    # 84-byte domain elements x (members + 1).
+    signature = ring_sign(b"x", _ring(5), 0, _keys[0], _rng)
+    model_bytes = rows[2].hello_bytes_with_certs  # k=4 row
+    text += (
+        f"\n\nreal RST signature bytes at k=4: {signature.byte_size()}"
+        f" (model: {84 * 6})"
+    )
+    write_result("aant_overhead", text)
+    assert signature.byte_size() == 84 * 6
+    # Monotone: more decoys, more bytes, strictly.
+    sizes = [r.hello_bytes_with_certs for r in rows]
+    assert sizes == sorted(sizes) and len(set(sizes)) == len(sizes)
+    assert model_bytes > rows[0].hello_bytes_with_certs
+
+
+@pytest.mark.benchmark(group="aant")
+@pytest.mark.parametrize("k", [1, 4, 8, 16])
+def test_ring_sign_scaling(benchmark, k):
+    ring = _ring(k + 1)
+    benchmark(lambda: ring_sign(b"hello", ring, 0, _keys[0], _rng))
+    benchmark.extra_info["ring_members"] = k + 1
+
+
+@pytest.mark.benchmark(group="aant")
+@pytest.mark.parametrize("k", [1, 4, 8, 16])
+def test_ring_verify_scaling(benchmark, k):
+    ring = _ring(k + 1)
+    signature = ring_sign(b"hello", ring, 0, _keys[0], _rng)
+    assert benchmark(lambda: ring_verify(b"hello", ring, signature))
+    benchmark.extra_info["ring_members"] = k + 1

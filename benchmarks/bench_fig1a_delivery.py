@@ -1,0 +1,74 @@
+"""Figure 1(a): packet delivery fraction vs node density.
+
+Regenerates the paper's delivery-fraction series for GPSR-Greedy, AGFW
+(with network-layer ACK) and AGFW-noACK over the density sweep, at a
+benchmark-friendly horizon (the shapes, not NS-2's absolute numbers, are
+the reproduction target — see EXPERIMENTS.md).
+
+Each benchmark measures one scheme's full density series; the combined
+table is written to ``benchmarks/results/fig1a.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.fig1 import Fig1Point, format_fig1a, run_fig1
+
+NODE_COUNTS = (50, 112, 150)
+SIM_TIME = 12.0
+SEED = 3
+
+_collected: dict[str, list[Fig1Point]] = {}
+
+
+def _run_scheme(scheme: str) -> list[Fig1Point]:
+    points = run_fig1(
+        node_counts=NODE_COUNTS, schemes=(scheme,), sim_time=SIM_TIME, seed=SEED
+    )
+    _collected[scheme] = points
+    return points
+
+
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_gpsr_greedy(benchmark):
+    points = benchmark.pedantic(_run_scheme, args=("gpsr",), rounds=1, iterations=1)
+    benchmark.extra_info["pdf_by_density"] = {
+        p.num_nodes: round(p.delivery_fraction, 3) for p in points
+    }
+    assert all(p.delivery_fraction > 0.8 for p in points)
+
+
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_agfw_ack(benchmark):
+    points = benchmark.pedantic(_run_scheme, args=("agfw",), rounds=1, iterations=1)
+    benchmark.extra_info["pdf_by_density"] = {
+        p.num_nodes: round(p.delivery_fraction, 3) for p in points
+    }
+    # Paper: "AGFW with ACK capability has almost same performance as the
+    # original GPSR-Greedy."
+    assert all(p.delivery_fraction > 0.9 for p in points)
+
+
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_agfw_noack(benchmark):
+    points = benchmark.pedantic(_run_scheme, args=("agfw-noack",), rounds=1, iterations=1)
+    benchmark.extra_info["pdf_by_density"] = {
+        p.num_nodes: round(p.delivery_fraction, 3) for p in points
+    }
+    # Paper: the no-ACK ablation's "delivery fraction is not satisfactory".
+    table = write_result(
+        "fig1a", format_fig1a([p for pts in _collected.values() for p in pts])
+    )
+    assert table.exists()
+    if "gpsr" in _collected and "agfw" in _collected:
+        for noack in points:
+            gpsr = next(
+                p for p in _collected["gpsr"] if p.num_nodes == noack.num_nodes
+            )
+            ack = next(
+                p for p in _collected["agfw"] if p.num_nodes == noack.num_nodes
+            )
+            assert noack.delivery_fraction <= ack.delivery_fraction + 0.01
+            assert abs(ack.delivery_fraction - gpsr.delivery_fraction) < 0.1

@@ -1,0 +1,58 @@
+"""Figure 1(b): end-to-end data latency vs node density.
+
+Regenerates the latency series for GPSR-Greedy and AGFW.  The paper's
+claims under test: the two schemes are comparable at modest density,
+and GPSR-Greedy's latency climbs at high density ("relatively more
+failures of making handshakes and hence the time wasted on backing off
+and retries") while AGFW stays flat (no RTS/CTS; trapdoor cost paid only
+in the last-hop region).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.fig1 import Fig1Point, format_fig1b, run_fig1
+
+NODE_COUNTS = (50, 112, 150)
+SIM_TIME = 12.0
+SEED = 9
+
+_collected: dict[str, list[Fig1Point]] = {}
+
+
+def _run_scheme(scheme: str) -> list[Fig1Point]:
+    points = run_fig1(
+        node_counts=NODE_COUNTS, schemes=(scheme,), sim_time=SIM_TIME, seed=SEED
+    )
+    _collected[scheme] = points
+    return points
+
+
+@pytest.mark.benchmark(group="fig1b")
+def test_fig1b_gpsr_latency(benchmark):
+    points = benchmark.pedantic(_run_scheme, args=("gpsr",), rounds=1, iterations=1)
+    benchmark.extra_info["latency_ms_by_density"] = {
+        p.num_nodes: round(p.mean_latency_ms, 2) for p in points
+    }
+    assert all(p.mean_latency_ms > 0 for p in points)
+
+
+@pytest.mark.benchmark(group="fig1b")
+def test_fig1b_agfw_latency(benchmark):
+    points = benchmark.pedantic(_run_scheme, args=("agfw",), rounds=1, iterations=1)
+    benchmark.extra_info["latency_ms_by_density"] = {
+        p.num_nodes: round(p.mean_latency_ms, 2) for p in points
+    }
+    write_result(
+        "fig1b", format_fig1b([p for pts in _collected.values() for p in pts])
+    )
+    if "gpsr" in _collected:
+        gpsr = {p.num_nodes: p.mean_latency_ms for p in _collected["gpsr"]}
+        agfw = {p.num_nodes: p.mean_latency_ms for p in points}
+        # AGFW's latency stays bounded while GPSR's grows with density:
+        # at the top of the sweep GPSR must be clearly slower.
+        assert gpsr[max(NODE_COUNTS)] > agfw[max(NODE_COUNTS)]
+        # AGFW never blows up: flat within a small factor across densities.
+        assert max(agfw.values()) < 4 * min(agfw.values())

@@ -1,0 +1,82 @@
+"""Sections 2 & 4 quantified: adversary yield under GPSR vs AGFW.
+
+A global passive sniffer coalition watches the identical workload under
+both protocols.  The paper's claim — "no node exposes its identity and
+location simultaneously" — becomes an exact, measurable assertion:
+zero doublets under AGFW versus thousands under GPSR, and near-complete
+tracking coverage of every victim under GPSR versus zero under AGFW.
+The paper's conceded non-goal (route traceability) is reported too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.security import format_exposure, run_exposure_experiment
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_privacy_exposure_gpsr_vs_agfw(benchmark):
+    reports = benchmark.pedantic(
+        run_exposure_experiment,
+        kwargs=dict(sim_time=30.0, num_nodes=50, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("privacy_exposure", format_exposure(reports))
+    gpsr = next(r for r in reports if r.protocol == "gpsr")
+    agfw = next(r for r in reports if r.protocol == "agfw")
+
+    # GPSR: every node's doublet is on the air continuously.
+    assert gpsr.doublets > 100
+    assert gpsr.identities_exposed == 50
+    assert gpsr.mean_tracking_coverage > 0.8
+
+    # AGFW: the dissociation holds — zero doublets, zero identities.
+    assert agfw.doublets == 0
+    assert agfw.identities_exposed == 0
+    assert agfw.mean_tracking_coverage == 0.0
+    assert agfw.pseudonym_sightings > 0  # traffic was observed, just opaque
+
+    # The honest concession: routes remain traceable, but carry no names.
+    assert agfw.traceable_routes > 0
+    assert agfw.identities_from_routes == 0
+
+    benchmark.extra_info["gpsr_doublets"] = gpsr.doublets
+    benchmark.extra_info["agfw_doublets"] = agfw.doublets
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_aant_ring_anonymity(benchmark):
+    """(k+1)-anonymity measured from an actual AANT hello capture."""
+    from repro.adversary.anonymity import ring_anonymity
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+
+    def run():
+        scenario = Scenario(
+            ScenarioConfig(
+                protocol="agfw",
+                num_nodes=30,
+                sim_time=10.0,
+                aant_ring_size=4,
+                with_sniffer=True,
+                num_flows=5,
+                num_senders=5,
+                seed=17,
+            )
+        )
+        scenario.run()
+        return ring_anonymity(scenario.sniffer.observations)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "aant_anonymity",
+        "AANT (k+1)-anonymity from captured hellos\n"
+        f"hellos observed: {report.hellos}\n"
+        f"worst-case anonymity set: {report.min_set_size}\n"
+        f"k-anonymity achieved: {report.k_anonymity}\n"
+        f"mean entropy: {report.mean_entropy_bits:.2f} bits",
+    )
+    assert report.min_set_size == 5
+    assert report.k_anonymity == 4

@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every table/figure benchmark writes its regenerated series into
+``benchmarks/results/<name>.txt`` so the reproduction output survives
+pytest's output capture; the same text is printed (visible with ``-s``)
+and recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a regenerated table/figure series and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]\n{text}")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

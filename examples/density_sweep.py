@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Figure 1 reproduction: the density sweep, from quick-look to paper scale.
+
+Prints the Figure 1(a) delivery-fraction and Figure 1(b) latency series
+for GPSR-Greedy, AGFW and AGFW-noACK.
+
+Run:
+  python examples/density_sweep.py                  # ~2 min quick look
+  python examples/density_sweep.py --full           # paper's 900 s horizon
+  python examples/density_sweep.py --nodes 50 150   # custom densities
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    DEFAULT_NODE_COUNTS,
+    format_fig1a,
+    format_fig1b,
+    run_fig1,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="the paper's 900 s per point (hours of wallclock)")
+    parser.add_argument("--sim-time", type=float, default=None)
+    parser.add_argument("--nodes", type=int, nargs="*", default=None)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    sim_time = args.sim_time or (900.0 if args.full else 20.0)
+    counts = tuple(args.nodes) if args.nodes else (
+        DEFAULT_NODE_COUNTS if args.full else (50, 100, 112, 150)
+    )
+
+    print(f"density sweep: {counts} nodes, {sim_time:.0f} s simulated per point, "
+          f"seed {args.seed}")
+    started = time.perf_counter()
+    points = run_fig1(node_counts=counts, sim_time=sim_time, seed=args.seed)
+    elapsed = time.perf_counter() - started
+
+    print()
+    print(format_fig1a(points))
+    print()
+    print(format_fig1b(points))
+    print(f"\n({len(points)} runs in {elapsed:.0f} s wallclock)")
+    print("\nExpected shapes (paper Sec 5.2): AGFW-ACK tracks GPSR-Greedy's")
+    print("delivery; AGFW-noACK is clearly below; latencies are comparable at")
+    print("modest density with GPSR-Greedy rising sharply as contention grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Location-privacy audit: what an adversary learns, GPSR vs AGFW.
+
+Runs the paper's workload (mobile nodes, CBR flows) twice — once under
+plain GPSR and once under the anonymous scheme — with a field-wide
+coalition of passive sniffers, then reports the adversary's yield:
+identity-location doublets, per-victim tracking coverage, and the
+residual route traceability the paper concedes.
+
+Run:  python examples/location_privacy_audit.py [--nodes 50] [--time 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.adversary import DoubletTracker, RouteTracer
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.experiments.security import format_exposure, run_exposure_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=50)
+    parser.add_argument("--time", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--victim", default="node-1", help="identity to track")
+    args = parser.parse_args()
+
+    reports = run_exposure_experiment(
+        sim_time=args.time, num_nodes=args.nodes, seed=args.seed
+    )
+    print(format_exposure(reports))
+
+    # Zoom in on one victim under GPSR: reconstruct its movement history.
+    print(f"\n--- tracking '{args.victim}' under GPSR ---")
+    scenario = Scenario(
+        ScenarioConfig(
+            protocol="gpsr",
+            num_nodes=args.nodes,
+            sim_time=min(args.time, 30.0),
+            seed=args.seed,
+            with_sniffer=True,
+            traffic_start=(1.0, 5.0),
+        )
+    )
+    scenario.run()
+    tracker = DoubletTracker()
+    tracker.ingest(scenario.sniffer.observations)
+    fixes = tracker.doublets_for(args.victim)
+    print(f"{len(fixes)} location fixes captured; first five:")
+    for doublet in fixes[:5]:
+        x, y = doublet.location
+        print(f"  t={doublet.time:6.2f}s  ({x:7.1f}, {y:6.1f})  from {doublet.source}")
+    coverage = tracker.tracking_coverage(
+        args.victim, duration=scenario.config.sim_time, horizon=5.0
+    )
+    print(f"tracking coverage (5 s horizon): {coverage:.1%}")
+
+    # The same attack under AGFW: routes visible, identities gone.
+    print("\n--- the same adversary under AGFW ---")
+    scenario = Scenario(
+        ScenarioConfig(
+            protocol="agfw",
+            num_nodes=args.nodes,
+            sim_time=min(args.time, 30.0),
+            seed=args.seed,
+            with_sniffer=True,
+            traffic_start=(1.0, 5.0),
+        )
+    )
+    scenario.run()
+    tracker = DoubletTracker()
+    tracker.ingest(scenario.sniffer.observations)
+    routes = RouteTracer()
+    routes.ingest(scenario.sniffer.observations)
+    print(f"doublets captured: {len(tracker.doublets)}")
+    print(f"pseudonym sightings (unlinkable): {tracker.pseudonym_sightings}")
+    print(f"data routes reconstructable: {len(routes.routes())} "
+          f"(identities learned from them: {routes.identities_learned()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: send data anonymously across a small ad hoc network.
+
+Builds a six-node static chain, runs the paper's anonymous geographic
+routing stack (ANT pseudonyms + AGFW trapdoor forwarding + NL-ACKs),
+sends a message end-to-end, and shows what was — and was not — visible
+on the air.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import AgfwConfig, AgfwRouter
+from repro.geo import Position
+from repro.location import OracleLocationService
+from repro.net import Node, RadioMedium, StaticMobility
+from repro.sim import RngRegistry, Simulator, Tracer
+
+
+def main() -> None:
+    sim = Simulator()
+    tracer = Tracer()
+    medium = RadioMedium(sim, tracer)  # 250 m radio, 550 m interference
+    rngs = RngRegistry(seed=2026)
+    oracle = OracleLocationService(sim)
+
+    # Six nodes in a 1 km chain, 200 m apart (within radio range).
+    nodes = []
+    for i in range(6):
+        node = Node(sim, i, medium, StaticMobility(Position(i * 200.0, 0.0)), rngs, tracer)
+        node.attach_router(AgfwRouter(node, oracle, AgfwConfig()))
+        nodes.append(node)
+    oracle.register_all(nodes)
+    for node in nodes:
+        node.start()  # begin pseudonymous hello beaconing
+
+    # After tables warm up, node-0 sends 64 bytes to node-5 — addressed by
+    # a trapdoor only node-5 can open, never by name.
+    sim.schedule(3.0, lambda: nodes[0].router.send_data("node-5", 64))
+    sim.run(until=8.0)
+
+    sends = list(tracer.filter("app.send"))
+    recvs = list(tracer.filter("app.recv"))
+    print(f"sent:      {len(sends)} packet(s) from node {sends[0].node}")
+    print(f"delivered: {len(recvs)} packet(s) at node {recvs[0].node}")
+    latency_ms = (recvs[0].time - sends[0].time) * 1000
+    print(f"latency:   {latency_ms:.2f} ms "
+          "(includes 0.5 ms trapdoor seal + 8.5 ms last-hop open)")
+
+    # What an eavesdropper saw: pseudonyms and locations, never identities.
+    print("\nFirst three frames on the air, as a sniffer reads them:")
+    shown = 0
+    for record in tracer.filter("phy.tx"):
+        packet = record.data.get("packet_obj")
+        if packet is None or not hasattr(packet, "wire_view"):
+            continue
+        print(f"  t={record.time:7.3f}s  {packet.kind:<12} {packet.wire_view()}")
+        shown += 1
+        if shown == 3:
+            break
+
+    hops = tracer.count("route.forward")
+    print(f"\nforwarding decisions: {hops}; "
+          f"network-layer ACKs matched: {sum(n.router.acks.acks_matched for n in nodes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs use the pre-PEP-517 path (`pip install -e . --no-use-pep517`
+or plain `pip install -e .` with this shim present)."""
+
+from setuptools import setup
+
+setup()

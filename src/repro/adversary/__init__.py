@@ -1,0 +1,23 @@
+"""Adversary models: passive sniffers, doublet tracking, anonymity metrics."""
+
+from repro.adversary.anonymity import (
+    RingAnonymityReport,
+    anonymity_entropy,
+    locality_anonymity_sets,
+    ring_anonymity,
+)
+from repro.adversary.sniffer import GlobalSniffer, Observation, Sniffer
+from repro.adversary.tracker import Doublet, DoubletTracker, RouteTracer
+
+__all__ = [
+    "RingAnonymityReport",
+    "anonymity_entropy",
+    "locality_anonymity_sets",
+    "ring_anonymity",
+    "GlobalSniffer",
+    "Observation",
+    "Sniffer",
+    "Doublet",
+    "DoubletTracker",
+    "RouteTracer",
+]

@@ -1,0 +1,61 @@
+"""The paper's contribution: ANT, AANT, AGFW, and ALS.
+
+Public API of the anonymous geographic routing scheme:
+
+* :class:`~repro.core.agfw.AgfwRouter` — the routing agent (attach to a
+  :class:`~repro.net.node.Node`).
+* :class:`~repro.core.config.AgfwConfig` / :class:`~repro.core.config.AantConfig`
+  — all protocol knobs.
+* :class:`~repro.core.als.AlsAgent` — the anonymous location service.
+* Building blocks: :class:`~repro.core.ant.AnonymousNeighborTable`,
+  :class:`~repro.core.pseudonym.PseudonymManager`,
+  :class:`~repro.core.trapdoor.TrapdoorFactory`,
+  :class:`~repro.core.aant.AantAuthenticator`.
+"""
+
+from repro.core.aant import AantAttachment, AantAuthenticator, hello_signing_bytes
+from repro.core.ack import AckManager, PendingSend
+from repro.core.agfw import AgfwAck, AgfwData, AgfwRouter, AntHello
+from repro.core.als import AlsAgent, AlsConfig, AlsReply, AlsRequest, AlsUpdate, make_index
+from repro.core.ant import AnonymousNeighborTable, AntEntry
+from repro.core.config import AantConfig, AgfwConfig
+from repro.core.freshness import STRATEGIES, best_position, freshest_progress
+from repro.core.pseudonym import (
+    LAST_ATTEMPT,
+    PSEUDONYM_BYTES,
+    PseudonymManager,
+    derive_pseudonym,
+)
+from repro.core.trapdoor import Trapdoor, TrapdoorContents, TrapdoorFactory
+
+__all__ = [
+    "AantAttachment",
+    "AantAuthenticator",
+    "hello_signing_bytes",
+    "AckManager",
+    "PendingSend",
+    "AgfwAck",
+    "AgfwData",
+    "AgfwRouter",
+    "AntHello",
+    "AlsAgent",
+    "AlsConfig",
+    "AlsReply",
+    "AlsRequest",
+    "AlsUpdate",
+    "make_index",
+    "AnonymousNeighborTable",
+    "AntEntry",
+    "AantConfig",
+    "AgfwConfig",
+    "STRATEGIES",
+    "best_position",
+    "freshest_progress",
+    "LAST_ATTEMPT",
+    "PSEUDONYM_BYTES",
+    "PseudonymManager",
+    "derive_pseudonym",
+    "Trapdoor",
+    "TrapdoorContents",
+    "TrapdoorFactory",
+]

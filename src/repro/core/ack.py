@@ -1,0 +1,157 @@
+"""Network-layer acknowledgments for AGFW (paper Sections 3.2 & 5).
+
+AGFW sends everything as MAC broadcasts, which 802.11 delivers without
+RTS/CTS or link-layer ACKs — so reliability moves up a layer: "once the
+current forwarding node receives the data, it initiates an
+acknowledgment for the packet.  The ACK packet is also locally
+broadcasted for anonymity ... it can be piggybacked on a data packet to
+be sent, and it does not necessarily acknowledge only one received
+packet at a time."
+
+:class:`AckManager` implements both directions for one node:
+
+* **sender side** — every forwarded data packet is *watched*; if no ACK
+  carrying its reference arrives within ``ack_timeout`` the packet is
+  retransmitted, up to ``max_retransmissions`` times, then handed to the
+  give-up callback (which may re-route through a different neighbor).
+* **receiver side** — references to be acknowledged are buffered briefly
+  so several can share one ACK packet, and (optionally) ride piggyback
+  on the next outgoing data packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import AgfwConfig
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["AckManager", "PendingSend"]
+
+RetransmitFn = Callable[[object], None]
+GiveUpFn = Callable[[object, bytes], None]
+SendAckFn = Callable[[Tuple[bytes, ...]], None]
+
+_ACK_BATCH_DELAY = 0.002  # seconds refs wait for batching / piggyback chances
+
+
+@dataclass
+class PendingSend:
+    """A forwarded packet awaiting its network-layer ACK."""
+
+    packet: object
+    ref: bytes
+    attempts: int = 0
+    timer: Optional[Event] = None
+
+
+class AckManager:
+    """Reliability bookkeeping for one AGFW router."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: AgfwConfig,
+        retransmit: RetransmitFn,
+        give_up: GiveUpFn,
+        send_ack: SendAckFn,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self._retransmit = retransmit
+        self._give_up = give_up
+        self._send_ack = send_ack
+        self._pending: Dict[bytes, PendingSend] = {}
+        self._ack_buffer: List[bytes] = []
+        self._flush_timer: Optional[Event] = None
+        self.retransmissions = 0
+        self.give_ups = 0
+        self.acks_matched = 0
+        self.acks_piggybacked = 0
+
+    # ============================================================ sender side
+    def watch(self, packet: object, ref: bytes) -> None:
+        """Start (or restart, on re-forward) the retransmission clock."""
+        existing = self._pending.get(ref)
+        if existing is not None and existing.timer is not None:
+            existing.timer.cancel()
+        pending = existing or PendingSend(packet=packet, ref=ref)
+        pending.packet = packet
+        pending.timer = self.sim.schedule(
+            self._timeout_for(pending), lambda: self._on_timeout(ref), name="agfw.ack_to"
+        )
+        self._pending[ref] = pending
+
+    def _timeout_for(self, pending: PendingSend) -> float:
+        """Exponential backoff: under congestion the queueing delay easily
+        exceeds the base timeout, and retransmitting into the backlog only
+        deepens it (a classic retransmission-storm collapse)."""
+        return self.config.ack_timeout * (2 ** pending.attempts)
+
+    def _on_timeout(self, ref: bytes) -> None:
+        pending = self._pending.get(ref)
+        if pending is None:
+            return
+        pending.attempts += 1
+        if pending.attempts > self.config.max_retransmissions:
+            del self._pending[ref]
+            self.give_ups += 1
+            self._give_up(pending.packet, ref)
+            return
+        self.retransmissions += 1
+        self._retransmit(pending.packet)
+        pending.timer = self.sim.schedule(
+            self._timeout_for(pending), lambda: self._on_timeout(ref), name="agfw.ack_to"
+        )
+
+    def on_ack_refs(self, refs: Tuple[bytes, ...]) -> int:
+        """Process references from a received ACK (or piggybacked on data)."""
+        matched = 0
+        for ref in refs:
+            pending = self._pending.pop(ref, None)
+            if pending is not None:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                matched += 1
+        self.acks_matched += matched
+        return matched
+
+    def drop_pending(self, ref: bytes) -> None:
+        """Forget a watched packet without retransmitting (e.g. shutdown)."""
+        pending = self._pending.pop(ref, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ========================================================== receiver side
+    def queue_ack(self, ref: bytes) -> None:
+        """Buffer a reference; it will be flushed (or piggybacked) shortly."""
+        self._ack_buffer.append(ref)
+        if self._flush_timer is None or self._flush_timer.cancelled:
+            self._flush_timer = self.sim.schedule(
+                _ACK_BATCH_DELAY, self._flush, name="agfw.ack_flush"
+            )
+
+    def take_piggyback_refs(self) -> Tuple[bytes, ...]:
+        """Drain buffered refs onto an outgoing data packet (piggyback mode)."""
+        if not self.config.piggyback_acks or not self._ack_buffer:
+            return ()
+        refs = tuple(self._ack_buffer)
+        self._ack_buffer.clear()
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        self.acks_piggybacked += len(refs)
+        return refs
+
+    def _flush(self) -> None:
+        self._flush_timer = None
+        if not self._ack_buffer:
+            return
+        refs = tuple(self._ack_buffer)
+        self._ack_buffer.clear()
+        self._send_ack(refs)

@@ -1,0 +1,79 @@
+"""Pseudonym generation and ownership (paper Section 3.1.1).
+
+Every hello message carries a *fresh* pseudonym ``n = hash(pr, id)``
+where ``pr`` is a locally generated pseudorandom value.  Pseudonyms are
+6 bytes — "equal to that of a typical MAC address" — so they add no
+packet-size overhead relative to plain 802.11 addressing.
+
+A sender must keep honouring packets addressed to recently used
+pseudonyms ("it does not need to memorize too many but two latest
+ones"), because a relay may hold an older ANT entry.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional
+
+from repro.crypto.hashing import hmac_sha256
+from repro.net.addresses import LAST_ATTEMPT, PSEUDONYM_BYTES
+
+__all__ = [
+    "PSEUDONYM_BYTES",
+    "LAST_ATTEMPT",
+    "PseudonymManager",
+    "derive_pseudonym",
+]
+
+
+def derive_pseudonym(pr: bytes, identity: str) -> bytes:
+    """``n = hash(pr, id)`` truncated to 6 bytes.
+
+    Any collision-resistant hash works; HMAC-SHA256 keyed by ``pr`` keeps
+    pseudonyms unlinkable without knowledge of ``pr``.  The all-zero
+    pseudonym is reserved, so a (astronomically unlikely) zero output is
+    remapped.
+    """
+    digest = hmac_sha256(pr, identity.encode("utf-8"))[:PSEUDONYM_BYTES]
+    if digest == LAST_ATTEMPT:  # pragma: no cover - 2**-48 event
+        digest = b"\x00" * (PSEUDONYM_BYTES - 1) + b"\x01"
+    return digest
+
+
+class PseudonymManager:
+    """Generates fresh pseudonyms and answers ownership queries."""
+
+    def __init__(self, identity: str, rng: random.Random, memory: int = 2) -> None:
+        if memory < 1:
+            raise ValueError("memory must be >= 1")
+        self.identity = identity
+        self._rng = rng
+        self._recent: Deque[bytes] = deque(maxlen=memory)
+
+    def new_pseudonym(self) -> bytes:
+        """Mint the pseudonym for the next hello; older ones age out."""
+        pr = self._rng.getrandbits(128).to_bytes(16, "big")
+        pseudonym = derive_pseudonym(pr, self.identity)
+        self._recent.append(pseudonym)
+        return pseudonym
+
+    def owns(self, pseudonym: bytes) -> bool:
+        """True when ``pseudonym`` is one of our recent ones.
+
+        The reserved last-attempt pseudonym is *never* owned: it addresses
+        everyone (handled separately by the forwarding logic).
+        """
+        if pseudonym == LAST_ATTEMPT:
+            return False
+        return pseudonym in self._recent
+
+    @property
+    def current(self) -> Optional[bytes]:
+        """The most recently minted pseudonym (None before the first hello)."""
+        return self._recent[-1] if self._recent else None
+
+    @property
+    def recent(self) -> tuple[bytes, ...]:
+        """The remembered pseudonyms, oldest first."""
+        return tuple(self._recent)

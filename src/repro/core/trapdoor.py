@@ -1,0 +1,177 @@
+"""Trapdoor construction and opening (paper Section 3.2).
+
+The AGFW data header replaces the destination identity with a
+*trapdoor*: ``trapdoor = KU_d(src, loc_s, tag_d)`` — data encrypted
+under the destination's public key whose successful decryption tells a
+node "you are the destination" (the tag) and hands it the source's
+identity and location for replying.
+
+Two backends, selected by ``AgfwConfig.crypto_mode``:
+
+* ``real`` — actual RSA encryption from :mod:`repro.crypto.rsa`; opening
+  genuinely attempts decryption and checks the tag.
+* ``modeled`` — no math; the trapdoor records the intended recipient in
+  a sealed, sim-only field and charges the paper's calibrated delays
+  (0.5 ms seal, 8.5 ms open attempt).  Wire size is the paper's 64-byte
+  bound either way.
+
+Both backends expose identical semantics so protocol code is oblivious.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.rsa import DecryptionError, RsaPrivateKey, RsaPublicKey
+from repro.crypto.timing import DEFAULT_COST_MODEL, CryptoCostModel
+from repro.geo.vec import Position
+
+__all__ = ["TrapdoorContents", "Trapdoor", "TrapdoorFactory"]
+
+_TAG = b"DST!"  # the paper's tag_d: "Hey! You are the destination!"
+
+
+@dataclass(frozen=True)
+class TrapdoorContents:
+    """What the destination learns by opening: the source and its location."""
+
+    src_identity: str
+    src_location: Position
+    timestamp: float
+
+
+@dataclass
+class Trapdoor:
+    """The opaque value riding in every AGFW data header.
+
+    ``ciphertext`` is the real RSA block(s) in ``real`` mode, None in
+    ``modeled`` mode.  ``_sealed_for`` / ``_contents`` are sim-only
+    bookkeeping for the modeled backend — they are NOT part of the wire
+    image and the adversary modules never read them (see
+    :meth:`wire_view`).
+    """
+
+    size_bytes: int
+    ciphertext: Optional[bytes] = None
+    _sealed_for: Optional[str] = field(default=None, repr=False)
+    _contents: Optional[TrapdoorContents] = field(default=None, repr=False)
+
+    def wire_view(self) -> dict:
+        """The sniffer's view: an opaque blob of a known size."""
+        return {"opaque_bytes": self.size_bytes}
+
+    def ref_bytes(self) -> bytes:
+        """A short reference 'uniquely determining the packet' for NL-ACKs.
+
+        Real mode hashes the ciphertext; modeled mode uses the object id
+        (unique per sealed trapdoor within a run).
+        """
+        if self.ciphertext is not None:
+            from repro.crypto.hashing import sha256
+
+            return sha256(self.ciphertext)[:8]
+        return id(self).to_bytes(8, "little", signed=False)
+
+
+class TrapdoorFactory:
+    """Seals and opens trapdoors under the configured backend."""
+
+    def __init__(
+        self,
+        mode: str = "modeled",
+        cost_model: CryptoCostModel = DEFAULT_COST_MODEL,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if mode not in ("modeled", "real"):
+            raise ValueError(f"unknown trapdoor mode {mode!r}")
+        self.mode = mode
+        self.cost = cost_model
+        self.rng = rng or random.Random()
+
+    # ------------------------------------------------------------------ seal
+    def seal(
+        self,
+        dest_identity: str,
+        dest_public_key: Optional[RsaPublicKey],
+        contents: TrapdoorContents,
+    ) -> tuple[Trapdoor, float]:
+        """Create a trapdoor for ``dest_identity``.
+
+        Returns ``(trapdoor, processing_delay_seconds)``.  ``real`` mode
+        requires the destination's public key (the paper assumes the
+        source holds the destination's certificate beforehand).
+        """
+        if self.mode == "real":
+            if dest_public_key is None:
+                raise ValueError("real trapdoors need the destination public key")
+            plaintext = self._pack(contents)
+            ciphertext = dest_public_key.encrypt(plaintext, rng=self.rng)
+            trapdoor = Trapdoor(size_bytes=len(ciphertext), ciphertext=ciphertext)
+        else:
+            trapdoor = Trapdoor(
+                size_bytes=self.cost.trapdoor_bytes,
+                _sealed_for=dest_identity,
+                _contents=contents,
+            )
+        return trapdoor, self.cost.pk_encrypt_s
+
+    # ------------------------------------------------------------------ open
+    def try_open(
+        self,
+        trapdoor: Trapdoor,
+        own_identity: str,
+        private_key: Optional[RsaPrivateKey],
+    ) -> tuple[Optional[TrapdoorContents], float]:
+        """Attempt to open; returns ``(contents_or_None, delay_seconds)``.
+
+        The delay is charged whether or not opening succeeds — a node
+        cannot know it is not the destination without paying the
+        private-key operation (this asymmetry is why AGFW restricts
+        opening to the last-hop region).
+        """
+        delay = self.cost.pk_decrypt_s
+        if self.mode == "real":
+            if private_key is None or trapdoor.ciphertext is None:
+                return None, delay
+            try:
+                plaintext = private_key.decrypt(trapdoor.ciphertext)
+            except DecryptionError:
+                return None, delay
+            contents = self._unpack(plaintext)
+            return contents, delay
+        if trapdoor._sealed_for == own_identity:
+            return trapdoor._contents, delay
+        return None, delay
+
+    # ------------------------------------------------------------- packing
+    @staticmethod
+    def _pack(contents: TrapdoorContents) -> bytes:
+        identity = contents.src_identity.encode("utf-8")
+        if len(identity) > 24:
+            raise ValueError("source identity too long for a 512-bit trapdoor")
+        return (
+            _TAG
+            + struct.pack(
+                "!ffdB",
+                contents.src_location.x,
+                contents.src_location.y,
+                contents.timestamp,
+                len(identity),
+            )
+            + identity
+        )
+
+    @staticmethod
+    def _unpack(plaintext: bytes) -> Optional[TrapdoorContents]:
+        if not plaintext.startswith(_TAG):
+            return None
+        try:
+            x, y, ts, id_len = struct.unpack_from("!ffdB", plaintext, len(_TAG))
+            offset = len(_TAG) + struct.calcsize("!ffdB")
+            identity = plaintext[offset : offset + id_len].decode("utf-8")
+        except (struct.error, UnicodeDecodeError):
+            return None
+        return TrapdoorContents(identity, Position(x, y), ts)

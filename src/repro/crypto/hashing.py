@@ -1,0 +1,58 @@
+"""Hash utilities: digests, integer hashing, and MGF1 mask generation.
+
+Everything cryptographic in this reproduction bottoms out in SHA-256 from
+the standard library (``hashlib``), which the paper permits: "the hash
+function could be any collision-resistant hash algorithm".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+__all__ = ["sha256", "hash_to_int", "mgf1", "hmac_sha256", "truncated_digest"]
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def truncated_digest(data: bytes, size: int) -> bytes:
+    """First ``size`` bytes of an expandable SHA-256 digest chain.
+
+    For ``size`` beyond 32 bytes the digest is extended by hashing a
+    counter (effectively MGF1), so any output length is available.
+    """
+    if size <= 32:
+        return sha256(data)[:size]
+    return mgf1(data, size)
+
+
+def hash_to_int(data: bytes, bits: int) -> int:
+    """Hash ``data`` to a uniform integer in ``[0, 2**bits)``."""
+    nbytes = (bits + 7) // 8
+    digest = mgf1(data, nbytes)
+    value = int.from_bytes(digest, "big")
+    excess = nbytes * 8 - bits
+    return value >> excess
+
+
+def mgf1(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation function (PKCS#1) with SHA-256."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        output += sha256(seed, counter.to_bytes(4, "big"))
+        counter += 1
+    return bytes(output[:length])
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 (used as a PRF for pseudonym generation)."""
+    return _hmac.new(key, data, hashlib.sha256).digest()

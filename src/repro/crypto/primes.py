@@ -1,0 +1,87 @@
+"""Prime generation via Miller–Rabin.
+
+The paper's trapdoor and certificates are RSA-based (512-bit keys in the
+evaluation).  No external crypto library is assumed: primality testing and
+prime generation are implemented here from first principles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["is_probable_prime", "generate_prime"]
+
+# Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+# Deterministic witness sets: testing against these bases is *proven*
+# sufficient for all n below the associated bound (Jaeschke; Sorenson &
+# Webster), so unit-range primality checks are exact, not probabilistic.
+_DETERMINISTIC_WITNESSES = (
+    (3_215_031_751, (2, 3, 5, 7)),
+    (3_474_749_660_383, (2, 3, 5, 7, 11, 13)),
+    (341_550_071_728_321, (2, 3, 5, 7, 11, 13, 17)),
+    (3_825_123_056_546_413_051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+)
+
+
+def _miller_rabin_witness(n: int, a: int) -> bool:
+    """True if ``a`` witnesses that ``n`` is composite."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (exact) for n below ~3.8e18 via fixed witness sets;
+    otherwise probabilistic with error probability at most 4**-rounds.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for bound, witnesses in _DETERMINISTIC_WITNESSES:
+        if n < bound:
+            return not any(_miller_rabin_witness(n, a) for a in witnesses)
+    rng = rng or random
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so that the product of two such primes
+    has exactly ``2 * bits`` bits — required for predictable RSA key sizes.
+    """
+    if bits < 8:
+        raise ValueError("refusing to generate primes under 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2))  # exact size
+        candidate |= 1  # odd
+        if is_probable_prime(candidate, rng=rng):
+            return candidate

@@ -1,0 +1,190 @@
+"""Rivest–Shamir–Tauman ring signatures ("How to Leak a Secret", 2001).
+
+The authenticated anonymous neighbor table (AANT, paper Section 3.1.2)
+ring-signs every hello message over the signer's key plus ``k`` decoy
+certificates, achieving *(k+1)-anonymity with authentication*: any
+verifier is convinced the sender holds one of the ring's private keys,
+but cannot tell which.
+
+Construction (as in the original paper):
+
+* Each ring member i has an RSA trapdoor permutation f_i over Z_{n_i};
+  it is extended to a permutation g_i over a common domain Z_b
+  (b = 2**(8*width), width > max key size) by applying f_i block-wise and
+  leaving the top partial block fixed.
+* A keyed symmetric permutation E_k over Z_b (here a Feistel network,
+  :class:`~repro.crypto.symmetric.FeistelPermutation`) with k = H(message)
+  combines the ring: starting from a random glue value v,
+  ``z_i = E_k(z_{i-1} XOR y_i)`` must return to v after all members.
+* The signer picks random x_i for everyone else, solves the ring equation
+  for its own y_s, and inverts g_s with its private key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.crypto.rsa import CryptoError, RsaPrivateKey, RsaPublicKey
+from repro.crypto.symmetric import FeistelPermutation
+
+__all__ = ["RingSignature", "ring_sign", "ring_verify", "ring_domain_width"]
+
+_DOMAIN_MARGIN_BYTES = 20  # domain exceeds the largest modulus by >=160 bits
+
+
+@dataclass(frozen=True)
+class RingSignature:
+    """A ring signature: the glue value and one x_i per ring member.
+
+    The ring member order is significant and must be presented identically
+    to the verifier (the paper attaches the certificates in order).
+    """
+
+    glue: int
+    xs: Tuple[int, ...]
+    width: int  # common-domain width in bytes
+
+    @property
+    def ring_size(self) -> int:
+        return len(self.xs)
+
+    def byte_size(self) -> int:
+        """Wire size: glue + one domain element per member."""
+        return self.width * (len(self.xs) + 1)
+
+    def to_bytes(self) -> bytes:
+        parts = [
+            len(self.xs).to_bytes(2, "big"),
+            self.width.to_bytes(2, "big"),
+            self.glue.to_bytes(self.width, "big"),
+        ]
+        parts.extend(x.to_bytes(self.width, "big") for x in self.xs)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RingSignature":
+        if len(data) < 4:
+            raise CryptoError("ring signature truncated")
+        count = int.from_bytes(data[0:2], "big")
+        width = int.from_bytes(data[2:4], "big")
+        expected = 4 + width * (count + 1)
+        if len(data) != expected:
+            raise CryptoError("ring signature length mismatch")
+        glue = int.from_bytes(data[4 : 4 + width], "big")
+        xs = tuple(
+            int.from_bytes(data[4 + width * (i + 1) : 4 + width * (i + 2)], "big")
+            for i in range(count)
+        )
+        return cls(glue=glue, xs=xs, width=width)
+
+
+def ring_domain_width(keys: Sequence[RsaPublicKey]) -> int:
+    """The common-domain width (bytes, even) for a ring of public keys."""
+    if not keys:
+        raise ValueError("ring must not be empty")
+    width = max(k.byte_size for k in keys) + _DOMAIN_MARGIN_BYTES
+    if width % 2:
+        width += 1
+    return width
+
+
+def _extended_apply(key: RsaPublicKey, x: int, b: int) -> int:
+    """The extended trapdoor permutation g_i over [0, b)."""
+    quotient, remainder = divmod(x, key.n)
+    if (quotient + 1) * key.n <= b:
+        return quotient * key.n + key.apply(remainder)
+    return x  # top partial block: identity
+
+
+def _extended_invert(key: RsaPrivateKey, y: int, b: int) -> Optional[int]:
+    """Invert g_s; returns None when y lies in the identity zone.
+
+    The identity zone has density < 2**-160 in the domain, so a retry with
+    a fresh glue value virtually never recurs.
+    """
+    quotient, remainder = divmod(y, key.n)
+    if (quotient + 1) * key.n <= b:
+        return quotient * key.n + key.apply(remainder)
+    return None
+
+
+def ring_sign(
+    message: bytes,
+    ring: Sequence[RsaPublicKey],
+    signer_index: int,
+    signer_key: RsaPrivateKey,
+    rng: Optional[random.Random] = None,
+) -> RingSignature:
+    """Sign ``message`` so any member of ``ring`` could have been the signer.
+
+    ``ring[signer_index]`` must equal ``signer_key.public()``.  A ring of
+    size 1 degenerates to an ordinary (verifiable, non-anonymous) signature.
+    """
+    if not ring:
+        raise ValueError("ring must not be empty")
+    if not 0 <= signer_index < len(ring):
+        raise ValueError("signer_index outside ring")
+    if ring[signer_index] != signer_key.public():
+        raise ValueError("signer's public key not at signer_index")
+    rng = rng or random.Random()
+
+    width = ring_domain_width(ring)
+    b = 1 << (8 * width)
+    cipher = FeistelPermutation(sha256(message), width)
+    n = len(ring)
+
+    while True:
+        glue = rng.randrange(b)
+        xs: list[Optional[int]] = [None] * n
+        ys: list[Optional[int]] = [None] * n
+        for i in range(n):
+            if i == signer_index:
+                continue
+            xs[i] = rng.randrange(b)
+            ys[i] = _extended_apply(ring[i], xs[i], b)
+
+        # Forward pass: z_0 = v up to the slot before the signer.
+        z = glue
+        for i in range(signer_index):
+            z = cipher.encrypt_int(z ^ ys[i])
+        z_before = z
+
+        # Backward pass: from z_n = v down to the signer's output slot.
+        z = glue
+        for i in range(n - 1, signer_index, -1):
+            z = cipher.decrypt_int(z) ^ ys[i]
+        z_target = z
+
+        y_signer = cipher.decrypt_int(z_target) ^ z_before
+        x_signer = _extended_invert(signer_key, y_signer, b)
+        if x_signer is None:
+            continue  # y landed in the (tiny) identity zone; re-glue
+        xs[signer_index] = x_signer
+        return RingSignature(glue=glue, xs=tuple(xs), width=width)  # type: ignore[arg-type]
+
+
+def ring_verify(
+    message: bytes, ring: Sequence[RsaPublicKey], signature: RingSignature
+) -> bool:
+    """Check that some member of ``ring`` signed ``message``.
+
+    Returns False (never raises) for malformed or mismatched signatures;
+    a verifier on the hot path treats any failure as "drop the hello".
+    """
+    if len(ring) != signature.ring_size or not ring:
+        return False
+    if signature.width != ring_domain_width(ring):
+        return False
+    b = 1 << (8 * signature.width)
+    if not 0 <= signature.glue < b:
+        return False
+    if any(not 0 <= x < b for x in signature.xs):
+        return False
+    cipher = FeistelPermutation(sha256(message), signature.width)
+    z = signature.glue
+    for key, x in zip(ring, signature.xs):
+        z = cipher.encrypt_int(z ^ _extended_apply(key, x, b))
+    return z == signature.glue

@@ -1,0 +1,109 @@
+"""Symmetric primitives built from SHA-256.
+
+Two constructions:
+
+* :class:`StreamCipher` — a CTR-mode keystream cipher used for the hybrid
+  (KEM/DEM) encryption path when a payload exceeds one RSA block, and as
+  the "lower cost symmetric encryption" the paper suggests for trapdoors
+  when a key exchange is in place.
+* :class:`FeistelPermutation` — a keyed, length-preserving *permutation*
+  over fixed-width integers.  The RST ring-signature combining function
+  requires an invertible symmetric cipher E_k over Z_b; a balanced Feistel
+  network with SHA-256 round functions provides exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import mgf1, sha256
+
+__all__ = ["StreamCipher", "FeistelPermutation"]
+
+
+class StreamCipher:
+    """CTR-mode stream cipher: keystream blocks are SHA-256(key || nonce || ctr).
+
+    Encryption and decryption are the same XOR operation.  A fresh nonce
+    must be used per message (callers pass one explicitly so tests can be
+    deterministic).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = bytes(key)
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            out += sha256(self._key, nonce, counter.to_bytes(8, "big"))
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt(self, nonce: bytes, plaintext: bytes) -> bytes:
+        ks = self.keystream(nonce, len(plaintext))
+        return bytes(a ^ b for a, b in zip(plaintext, ks))
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes) -> bytes:
+        return self.encrypt(nonce, ciphertext)
+
+
+class FeistelPermutation:
+    """A keyed permutation over ``[0, 2**(8*width))`` via a balanced Feistel net.
+
+    ``width`` (bytes) must be even.  With >= 4 rounds and a PRF round
+    function the construction is a strong pseudorandom permutation
+    (Luby–Rackoff); we use 8 rounds for margin.  This serves as E_k in the
+    Rivest–Shamir–Tauman ring-signature combining function.
+    """
+
+    ROUNDS = 8
+
+    def __init__(self, key: bytes, width: int) -> None:
+        if width <= 0 or width % 2 != 0:
+            raise ValueError("width must be a positive even number of bytes")
+        if not key:
+            raise ValueError("key must be non-empty")
+        self.width = width
+        self._half = width // 2
+        # Independent round keys derived once.
+        self._round_keys = [sha256(key, bytes([r])) for r in range(self.ROUNDS)]
+
+    @property
+    def modulus(self) -> int:
+        """The permutation domain size b = 2**(8*width)."""
+        return 1 << (8 * self.width)
+
+    def _round(self, rk: bytes, half: bytes) -> bytes:
+        return mgf1(rk + half, self._half)
+
+    def encrypt_int(self, value: int) -> int:
+        return int.from_bytes(
+            self.encrypt(value.to_bytes(self.width, "big")), "big"
+        )
+
+    def decrypt_int(self, value: int) -> int:
+        return int.from_bytes(
+            self.decrypt(value.to_bytes(self.width, "big")), "big"
+        )
+
+    def encrypt(self, block: bytes) -> bytes:
+        left, right = self._split(block)
+        for rk in self._round_keys:
+            left, right = right, self._xor(left, self._round(rk, right))
+        return left + right
+
+    def decrypt(self, block: bytes) -> bytes:
+        left, right = self._split(block)
+        for rk in reversed(self._round_keys):
+            left, right = self._xor(right, self._round(rk, left)), left
+        return left + right
+
+    def _split(self, block: bytes) -> tuple[bytes, bytes]:
+        if len(block) != self.width:
+            raise ValueError(f"block must be exactly {self.width} bytes")
+        return block[: self._half], block[self._half :]
+
+    @staticmethod
+    def _xor(a: bytes, b: bytes) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,31 @@
+"""Experiment harness: scenario builder and per-figure reproductions."""
+
+from repro.experiments.fig1 import (
+    DEFAULT_NODE_COUNTS,
+    FIG1_SCHEMES,
+    Fig1Point,
+    format_fig1a,
+    format_fig1b,
+    run_fig1,
+)
+from repro.experiments.scenario import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    build_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "DEFAULT_NODE_COUNTS",
+    "FIG1_SCHEMES",
+    "Fig1Point",
+    "format_fig1a",
+    "format_fig1b",
+    "run_fig1",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,89 @@
+"""One-stop reproduction runner.
+
+``python -m repro.experiments.runner`` regenerates every table/figure of
+the paper at a configurable scale and prints the same series the paper
+reports.  ``--full`` uses the paper's 900 s horizon (slow: pure-Python
+discrete-event simulation); the default is a scaled-down sweep that
+preserves the shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.fig1 import (
+    DEFAULT_NODE_COUNTS,
+    format_fig1a,
+    format_fig1b,
+    run_fig1,
+)
+from repro.experiments.overhead import (
+    aant_overhead_table,
+    format_aant_overhead,
+    format_location_service_comparison,
+    run_location_service_comparison,
+)
+from repro.experiments.security import format_exposure, run_exposure_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale 900 s runs")
+    parser.add_argument("--sim-time", type=float, default=None, help="seconds per point")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="node counts for the density sweep",
+    )
+    parser.add_argument(
+        "--skip",
+        nargs="*",
+        default=[],
+        choices=["fig1", "exposure", "aant", "als"],
+        help="experiments to skip",
+    )
+    args = parser.parse_args(argv)
+
+    sim_time = args.sim_time if args.sim_time is not None else (900.0 if args.full else 20.0)
+    counts = tuple(args.nodes) if args.nodes else (
+        DEFAULT_NODE_COUNTS if args.full else (50, 100, 112, 150)
+    )
+
+    if "fig1" not in args.skip:
+        print(f"# Density sweep ({sim_time:.0f} s per point, seed {args.seed})\n")
+        points = run_fig1(node_counts=counts, sim_time=sim_time, seed=args.seed)
+        print(format_fig1a(points))
+        print()
+        print(format_fig1b(points))
+        print()
+
+    if "exposure" not in args.skip:
+        print("# Privacy exposure (Sections 2 & 4)\n")
+        reports = run_exposure_experiment(
+            sim_time=min(sim_time * 3, 60.0), seed=args.seed
+        )
+        print(format_exposure(reports))
+        print()
+
+    if "aant" not in args.skip:
+        print("# AANT overhead (Section 4)\n")
+        print(format_aant_overhead(aant_overhead_table()))
+        print()
+
+    if "als" not in args.skip:
+        print("# ALS vs DLM overhead (Sections 3.3 & 5)\n")
+        reports = run_location_service_comparison(seed=args.seed)
+        print(format_location_service_comparison(reports))
+        print()
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Privacy-exposure experiment (paper Sections 2 & 4, quantified).
+
+The paper's security analysis is qualitative: under plain geographic
+routing a sniffer reads (identity, location) doublets from every beacon
+and data header; under the proposed scheme it reads only pseudonyms and
+opaque trapdoors.  This experiment runs the same workload under both
+protocols with a global sniffer coalition and measures:
+
+* doublets captured (total, and per victim identity),
+* tracking coverage of a victim (fraction of time the adversary holds a
+  fix fresher than a horizon),
+* what remains under AGFW: pseudonym sightings and traceable routes
+  (the paper concedes route traceability), with zero identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.adversary.tracker import DoubletTracker, RouteTracer
+from repro.experiments.scenario import ScenarioConfig, Scenario
+
+__all__ = ["ExposureReport", "run_exposure_experiment", "format_exposure"]
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """Adversary yield for one protocol run."""
+
+    protocol: str
+    frames_observed: int
+    doublets: int
+    identities_exposed: int
+    max_doublets_one_identity: int
+    mean_tracking_coverage: float
+    pseudonym_sightings: int
+    traceable_routes: int
+    identities_from_routes: int
+
+
+def run_exposure_experiment(
+    base: Optional[ScenarioConfig] = None,
+    protocols: tuple[str, ...] = ("gpsr", "agfw"),
+    sim_time: float = 60.0,
+    num_nodes: int = 50,
+    seed: int = 7,
+    tracking_horizon: float = 5.0,
+) -> List[ExposureReport]:
+    """Run the workload under each protocol with a global sniffer."""
+    template = base if base is not None else ScenarioConfig()
+    reports: List[ExposureReport] = []
+    for protocol in protocols:
+        cfg = replace(
+            template,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            sim_time=sim_time,
+            seed=seed,
+            with_sniffer=True,
+            traffic_start=(1.0, min(10.0, sim_time / 4)),
+        )
+        scenario = Scenario(cfg)
+        scenario.run()
+        assert scenario.sniffer is not None
+        observations = scenario.sniffer.observations
+
+        tracker = DoubletTracker()
+        tracker.ingest(observations)
+        exposure = tracker.exposed_identities()
+
+        coverages = [
+            tracker.tracking_coverage(node.identity, sim_time, horizon=tracking_horizon)
+            for node in scenario.nodes
+        ]
+        routes = RouteTracer()
+        routes.ingest(observations)
+
+        reports.append(
+            ExposureReport(
+                protocol=protocol,
+                frames_observed=len(observations),
+                doublets=len(tracker.doublets),
+                identities_exposed=len(exposure),
+                max_doublets_one_identity=max(exposure.values(), default=0),
+                mean_tracking_coverage=sum(coverages) / len(coverages),
+                pseudonym_sightings=tracker.pseudonym_sightings,
+                traceable_routes=len(routes.routes()),
+                identities_from_routes=routes.identities_learned(),
+            )
+        )
+    return reports
+
+
+def format_exposure(reports: List[ExposureReport]) -> str:
+    """Side-by-side table of adversary yield per protocol."""
+    lines = [
+        "Adversary yield (global passive sniffer, identical workload)",
+        f"{'metric':<32}" + "".join(f"{r.protocol:>14}" for r in reports),
+    ]
+
+    def row(label: str, getter) -> str:
+        return f"{label:<32}" + "".join(f"{getter(r):>14}" for r in reports)
+
+    lines.append(row("frames observed", lambda r: r.frames_observed))
+    lines.append(row("(id, loc) doublets", lambda r: r.doublets))
+    lines.append(row("identities exposed", lambda r: r.identities_exposed))
+    lines.append(row("max doublets on one victim", lambda r: r.max_doublets_one_identity))
+    lines.append(
+        row("mean tracking coverage", lambda r: f"{r.mean_tracking_coverage:.3f}")
+    )
+    lines.append(row("pseudonym-only sightings", lambda r: r.pseudonym_sightings))
+    lines.append(row("traceable routes (no ids)", lambda r: r.traceable_routes))
+    lines.append(row("identities from routes", lambda r: r.identities_from_routes))
+    return "\n".join(lines)

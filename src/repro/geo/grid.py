@@ -1,0 +1,129 @@
+"""Grid partitioning of the simulation region.
+
+Two consumers:
+
+* The **DLM location service** (Xue et al.) divides the network into
+  equal-size grids and maps a node identity to "special grids" hosting its
+  location servers.  :class:`Grid` provides the cell arithmetic and the
+  identity→cell hash mapping that both DLM and the paper's ALS reuse.
+* The **medium** uses a (coarser) grid for neighbor culling so that
+  broadcast delivery does not scan all nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.geo.region import Region
+from repro.geo.vec import Position
+
+__all__ = ["Cell", "Grid"]
+
+Cell = Tuple[int, int]
+"""A grid cell index ``(col, row)``."""
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A uniform grid of ``cols`` x ``rows`` cells over ``region``."""
+
+    region: Region
+    cols: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("grid must have at least one cell per axis")
+
+    @classmethod
+    def with_cell_size(cls, region: Region, cell_size: float) -> "Grid":
+        """Grid whose cells are (at most) ``cell_size`` metres on a side."""
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        cols = max(1, int(-(-region.width // cell_size)))
+        rows = max(1, int(-(-region.height // cell_size)))
+        return cls(region, cols, rows)
+
+    # --------------------------------------------------------------- basics
+    @property
+    def cell_width(self) -> float:
+        return self.region.width / self.cols
+
+    @property
+    def cell_height(self) -> float:
+        return self.region.height / self.rows
+
+    @property
+    def cell_count(self) -> int:
+        return self.cols * self.rows
+
+    def cell_of(self, p: Position) -> Cell:
+        """The cell containing ``p`` (positions outside are clamped)."""
+        p = self.region.clamp(p)
+        col = min(int((p.x - self.region.x0) / self.cell_width), self.cols - 1)
+        row = min(int((p.y - self.region.y0) / self.cell_height), self.rows - 1)
+        return (col, row)
+
+    def center_of(self, cell: Cell) -> Position:
+        """Geometric center of a cell — the geocast target for server grids."""
+        col, row = self._check(cell)
+        return Position(
+            self.region.x0 + (col + 0.5) * self.cell_width,
+            self.region.y0 + (row + 0.5) * self.cell_height,
+        )
+
+    def contains_cell(self, cell: Cell) -> bool:
+        col, row = cell
+        return 0 <= col < self.cols and 0 <= row < self.rows
+
+    def cells(self) -> Iterator[Cell]:
+        """All cells in row-major order."""
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield (col, row)
+
+    def neighbors_of(self, cell: Cell, radius: int = 1) -> List[Cell]:
+        """Cells within Chebyshev distance ``radius`` (incl. the cell itself)."""
+        col, row = self._check(cell)
+        out: List[Cell] = []
+        for dc in range(-radius, radius + 1):
+            for dr in range(-radius, radius + 1):
+                c, r = col + dc, row + dr
+                if 0 <= c < self.cols and 0 <= r < self.rows:
+                    out.append((c, r))
+        return out
+
+    # -------------------------------------------------- identity -> servers
+    def home_cells(self, identity: str, count: int = 1) -> List[Cell]:
+        """The DLM *server selection algorithm* ``ssa(identity)``.
+
+        Maps a node identity to ``count`` deterministic, publicly-computable
+        cells by iterated hashing.  Every node computes the same mapping, so
+        updaters and requesters agree on where location servers live without
+        any coordination — the property DLM (and hence ALS) relies on.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > self.cell_count:
+            raise ValueError(
+                f"cannot pick {count} distinct cells from a {self.cols}x{self.rows} grid"
+            )
+        chosen: List[Cell] = []
+        seen: set[Cell] = set()
+        salt = 0
+        while len(chosen) < count:
+            digest = hashlib.sha256(f"{identity}:{salt}".encode("utf-8")).digest()
+            index = int.from_bytes(digest[:8], "big") % self.cell_count
+            cell = (index % self.cols, index // self.cols)
+            if cell not in seen:
+                seen.add(cell)
+                chosen.append(cell)
+            salt += 1
+        return chosen
+
+    def _check(self, cell: Cell) -> Cell:
+        if not self.contains_cell(cell):
+            raise ValueError(f"cell {cell} outside {self.cols}x{self.rows} grid")
+        return cell

@@ -1,0 +1,69 @@
+"""Rectangular simulation regions.
+
+The paper's evaluation uses a 1500 m x 300 m field.  :class:`Region`
+encapsulates the field bounds: mobility models sample waypoints from it,
+and node placement draws uniform positions inside it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.geo.vec import Position
+
+__all__ = ["Region"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle ``[x0, x1] x [y0, y1]`` in metres."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate region {self!r}")
+
+    @classmethod
+    def of_size(cls, width: float, height: float) -> "Region":
+        """A region anchored at the origin — ``Region.of_size(1500, 300)``."""
+        return cls(0.0, 0.0, float(width), float(height))
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Position:
+        return Position((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, p: Position) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def clamp(self, p: Position) -> Position:
+        """Project ``p`` onto the region (nearest interior/boundary point)."""
+        return Position(
+            min(max(p.x, self.x0), self.x1),
+            min(max(p.y, self.y0), self.y1),
+        )
+
+    def random_position(self, rng: random.Random) -> Position:
+        """A uniform random position inside the region."""
+        return Position(rng.uniform(self.x0, self.x1), rng.uniform(self.y0, self.y1))
+
+    def diagonal(self) -> float:
+        """Length of the region diagonal — an upper bound on any distance."""
+        return Position(self.x0, self.y0).distance_to(Position(self.x1, self.y1))

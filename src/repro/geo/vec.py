@@ -1,0 +1,90 @@
+"""2-D geometry primitives used throughout the routing stack.
+
+Positions are immutable value objects.  Geographic routing compares
+distances constantly, so :func:`distance2` (squared distance) is provided
+to keep hot loops free of square roots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+__all__ = ["Position", "distance", "distance2", "midpoint", "bearing"]
+
+
+@dataclass(frozen=True)
+class Position:
+    """An (x, y) point in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance2_to(self, other: "Position") -> float:
+        """Squared Euclidean distance (no sqrt; for comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Position":
+        return Position(self.x + dx, self.y + dy)
+
+    def towards(self, other: "Position", fraction: float) -> "Position":
+        """The point ``fraction`` of the way from self to ``other``."""
+        return Position(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def quantized(self, step: float) -> "Position":
+        """Snap to a grid of ``step`` metres (used for location cloaking tests)."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        return Position(round(self.x / step) * step, round(self.y / step) * step)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __repr__(self) -> str:
+        return f"({self.x:.1f}, {self.y:.1f})"
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions."""
+    return a.distance_to(b)
+
+
+def distance2(a: Position, b: Position) -> float:
+    """Squared Euclidean distance between two positions."""
+    return a.distance2_to(b)
+
+
+def midpoint(a: Position, b: Position) -> Position:
+    """Midpoint of the segment ab."""
+    return Position((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def bearing(a: Position, b: Position) -> float:
+    """Angle of the vector a→b in radians, in (-pi, pi]."""
+    return math.atan2(b.y - a.y, b.x - a.x)
+
+
+def centroid(points: Iterable[Position]) -> Position:
+    """Arithmetic mean of a non-empty collection of positions."""
+    xs, ys, n = 0.0, 0.0, 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid of empty collection")
+    return Position(xs / n, ys / n)

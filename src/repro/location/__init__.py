@@ -1,0 +1,29 @@
+"""Location services: oracle (evaluation), DLM (baseline), geocast base.
+
+The anonymous variant (ALS) lives in :mod:`repro.core.als` since it is
+part of the paper's contribution.
+"""
+
+from repro.location.dlm import (
+    DlmAgent,
+    DlmConfig,
+    DlmReply,
+    DlmRequest,
+    DlmUpdate,
+    StoredLocation,
+)
+from repro.location.geocast import LocationAddressed
+from repro.location.service import LocationCallback, LocationService, OracleLocationService
+
+__all__ = [
+    "DlmAgent",
+    "DlmConfig",
+    "DlmReply",
+    "DlmRequest",
+    "DlmUpdate",
+    "StoredLocation",
+    "LocationAddressed",
+    "LocationCallback",
+    "LocationService",
+    "OracleLocationService",
+]

@@ -1,0 +1,41 @@
+"""Location-addressed packets ("geocast" transport).
+
+DLM and ALS messages are routed to a *place* (a server grid cell, a
+requester's advertised location) rather than to an identity.  Both
+routers implement ``forward_location_packet`` over this shared base:
+
+* GPSR unicasts greedily toward ``target_location``;
+* AGFW broadcasts with a committed next-hop pseudonym, like data.
+
+When no neighbor is closer to the target (the packet has arrived "at"
+the place, or hit a dead end), the router hands the packet to whichever
+service agent registered for its type — the agent decides whether it is
+consumable here (e.g. this node is inside the server grid) or lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addresses import LAST_ATTEMPT
+from repro.geo.vec import Position
+from repro.net.packet import Packet
+
+__all__ = ["LocationAddressed"]
+
+
+@dataclass
+class LocationAddressed(Packet):
+    """A packet routed toward a geographic target.
+
+    ``next_pseudonym`` is only meaningful on the AGFW transport (it plays
+    the role AGFW's data header field plays); the GPSR transport leaves
+    it untouched and uses unicast MAC addressing instead.
+    """
+
+    target_location: Position = field(default_factory=lambda: Position(0.0, 0.0))
+    ttl: int = 64
+    next_pseudonym: bytes = LAST_ATTEMPT
+
+    def header_bytes(self) -> int:  # location + ttl + pseudonym + IP
+        return 20 + 8 + 1 + 6

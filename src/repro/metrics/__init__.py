@@ -1,0 +1,13 @@
+"""Metrics: online collectors and summary statistics."""
+
+from repro.metrics.collectors import DeliveryCollector, OverheadCollector
+from repro.metrics.stats import Summary, mean_confidence_interval, percentile, summarize
+
+__all__ = [
+    "DeliveryCollector",
+    "OverheadCollector",
+    "Summary",
+    "mean_confidence_interval",
+    "percentile",
+    "summarize",
+]

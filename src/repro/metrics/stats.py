@@ -1,0 +1,82 @@
+"""Summary statistics without heavyweight dependencies.
+
+The harness reports the paper's two metrics (delivery fraction, mean
+end-to-end latency) plus dispersion measures for honest error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["Summary", "summarize", "percentile", "mean_confidence_interval"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean_confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Normal-approximation CI half-width around the mean: (mean, half_width)."""
+    if not values:
+        raise ValueError("confidence interval of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, z * math.sqrt(var / n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} sd={self.stdev:.4g} "
+            f"min={self.minimum:.4g} p50={self.p50:.4g} p95={self.p95:.4g} "
+            f"max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on an empty sample."""
+    data: List[float] = list(values)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    n = len(data)
+    mean = sum(data) / n
+    stdev = math.sqrt(sum((v - mean) ** 2 for v in data) / (n - 1)) if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=stdev,
+        minimum=min(data),
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        maximum=max(data),
+    )

@@ -1,0 +1,15 @@
+"""IEEE 802.11 DCF MAC model."""
+
+from repro.net.mac.constants import DEFAULT_DOT11, Dot11Params
+from repro.net.mac.dcf import DcfMac, MacState, TxOp
+from repro.net.mac.frames import FrameKind, MacFrame
+
+__all__ = [
+    "DEFAULT_DOT11",
+    "Dot11Params",
+    "DcfMac",
+    "MacState",
+    "TxOp",
+    "FrameKind",
+    "MacFrame",
+]

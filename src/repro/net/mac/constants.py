@@ -1,0 +1,102 @@
+"""IEEE 802.11 (1999, DSSS PHY) timing and size constants.
+
+Values follow the DSSS PHY used by NS-2's CMU wireless extensions at the
+time of the paper: 2 Mbit/s data rate, 1 Mbit/s for control frames and
+PLCP preamble/header, 20 us slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Dot11Params", "DEFAULT_DOT11"]
+
+MICRO = 1e-6
+
+
+@dataclass(frozen=True)
+class Dot11Params:
+    """All MAC/PHY constants in one immutable bundle (times in seconds)."""
+
+    slot_time: float = 20 * MICRO
+    sifs: float = 10 * MICRO
+    data_rate: float = 2e6  # bit/s for MAC payloads
+    basic_rate: float = 1e6  # bit/s for control frames (RTS/CTS/ACK)
+    plcp_overhead: float = 192 * MICRO  # preamble + PLCP header, at 1 Mbit/s
+
+    cw_min: int = 31
+    cw_max: int = 1023
+    short_retry_limit: int = 7  # RTS attempts
+    long_retry_limit: int = 4  # DATA attempts (post-RTS)
+
+    mac_header_bytes: int = 28  # 24-byte header + 4-byte FCS
+    rts_bytes: int = 20
+    cts_bytes: int = 14
+    ack_bytes: int = 14
+
+    rts_threshold_bytes: int = 0  # 0 = RTS/CTS for every unicast (NS-2 default off=3000; GPSR studies enable it)
+
+    broadcast_at_basic_rate: bool = False
+    """When True, group-addressed frames use the basic rate (multirate
+    802.11 practice).  Default False: the paper treats AGFW's local
+    broadcast as "equivalent to a unicast" apart from addressing, and the
+    1999-era single-rate configurations broadcast at the data rate."""
+
+    @property
+    def difs(self) -> float:
+        """DIFS = SIFS + 2 slots."""
+        return self.sifs + 2 * self.slot_time
+
+    @property
+    def eifs(self) -> float:
+        """EIFS after a corrupted reception: DIFS + SIFS + ACK airtime."""
+        return self.difs + self.sifs + self.control_duration(self.ack_bytes)
+
+    # ------------------------------------------------------------ durations
+    def control_duration(self, size_bytes: int) -> float:
+        """Airtime of a control frame (basic rate + PLCP)."""
+        return self.plcp_overhead + (size_bytes * 8) / self.basic_rate
+
+    def data_duration(self, payload_bytes: int, broadcast: bool = False) -> float:
+        """Airtime of a data frame: PLCP + MAC header + payload.
+
+        Broadcast frames use the basic rate when
+        :attr:`broadcast_at_basic_rate` is set.
+        """
+        bits = (self.mac_header_bytes + payload_bytes) * 8
+        rate = (
+            self.basic_rate
+            if broadcast and self.broadcast_at_basic_rate
+            else self.data_rate
+        )
+        return self.plcp_overhead + bits / rate
+
+    @property
+    def cts_timeout(self) -> float:
+        """How long a sender waits for CTS before counting a retry."""
+        return self.sifs + self.control_duration(self.cts_bytes) + 2 * self.slot_time
+
+    @property
+    def ack_timeout(self) -> float:
+        """How long a sender waits for the MAC-level ACK."""
+        return self.sifs + self.control_duration(self.ack_bytes) + 2 * self.slot_time
+
+    def nav_for_rts(self, payload_bytes: int) -> float:
+        """NAV advertised by an RTS: CTS + DATA + ACK plus three SIFS."""
+        return (
+            3 * self.sifs
+            + self.control_duration(self.cts_bytes)
+            + self.data_duration(payload_bytes)
+            + self.control_duration(self.ack_bytes)
+        )
+
+    def nav_for_cts(self, payload_bytes: int) -> float:
+        """NAV advertised by a CTS: DATA + ACK plus two SIFS."""
+        return (
+            2 * self.sifs
+            + self.data_duration(payload_bytes)
+            + self.control_duration(self.ack_bytes)
+        )
+
+
+DEFAULT_DOT11 = Dot11Params()

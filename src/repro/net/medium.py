@@ -1,0 +1,150 @@
+"""The shared wireless medium.
+
+A binary-interference (unit-disk) channel model in the NS-2 tradition:
+
+* a frame is *deliverable* to receivers within ``radio_range`` (250 m),
+* it *occupies the channel* (carrier sense, interference) out to
+  ``interference_range`` (550 m — NS-2's carrier-sense/interference
+  default),
+* a reception is corrupted when any other transmission impinges on the
+  receiver during the reception window, or when the receiver itself
+  transmits — this is what produces the hidden-terminal losses that drive
+  the paper's Figure 1(a) for broadcast (no-RTS/CTS) traffic.
+
+Node positions are sampled once per frame at transmission start; frames
+last << 10 ms while nodes move <= 20 m/s, so intra-frame motion is
+negligible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.geo.vec import Position
+from repro.net.mac.frames import MacFrame
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.phy import PhyRadio
+
+__all__ = ["Transmission", "RadioMedium"]
+
+_tx_uid = itertools.count(1)
+
+
+@dataclass
+class Transmission:
+    """One frame in flight."""
+
+    uid: int
+    sender_id: int
+    sender_pos: Position
+    frame: MacFrame
+    start: float
+    end: float
+    corrupted_at: Dict[int, bool] = field(default_factory=dict)
+    deliverable_to: Dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RadioMedium:
+    """Connects all :class:`~repro.net.phy.PhyRadio` instances.
+
+    The medium owns range semantics; radios own per-receiver reception
+    state.  ``transmit`` is called by a radio that has already won its
+    MAC-level contention.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+        radio_range: float = 250.0,
+        interference_range: float = 550.0,
+    ) -> None:
+        if interference_range < radio_range:
+            raise ValueError("interference range must cover the radio range")
+        self.sim = sim
+        self.tracer = tracer
+        self.radio_range = radio_range
+        self.interference_range = interference_range
+        self._radios: List["PhyRadio"] = []
+        self._radio_range2 = radio_range * radio_range
+        self._interference_range2 = interference_range * interference_range
+        self.frames_sent = 0
+
+    def register(self, radio: "PhyRadio") -> None:
+        self._radios.append(radio)
+
+    @property
+    def radios(self) -> List["PhyRadio"]:
+        return list(self._radios)
+
+    # ------------------------------------------------------------- transmit
+    def transmit(self, sender: "PhyRadio", frame: MacFrame, duration: float) -> Transmission:
+        """Put ``frame`` on the air for ``duration`` seconds.
+
+        Returns the transmission record (its ``end`` is when the sender's
+        radio frees up).  Reception outcomes are decided when it ends.
+        """
+        now = self.sim.now
+        sender_pos = sender.position
+        tx = Transmission(
+            uid=next(_tx_uid),
+            sender_id=sender.node_id,
+            sender_pos=sender_pos,
+            frame=frame,
+            start=now,
+            end=now + duration,
+        )
+        self.frames_sent += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "phy.tx",
+                node=sender.node_id,
+                frame_kind=frame.kind.value,
+                frame_uid=frame.uid,
+                dst=frame.dst.value,
+                packet_uid=frame.packet.uid if frame.packet else None,
+                packet_kind=frame.packet.kind if frame.packet else None,
+                packet_obj=frame.packet,
+                pos=sender_pos.as_tuple(),
+                duration=duration,
+            )
+
+        sender.begin_transmit(tx)
+        affected: List["PhyRadio"] = []
+        for radio in self._radios:
+            if radio is sender:
+                continue
+            d2 = radio.position.distance2_to(sender_pos)
+            if d2 <= self._interference_range2:
+                tx.deliverable_to[radio.node_id] = d2 <= self._radio_range2
+                radio.on_tx_start(tx)
+                affected.append(radio)
+
+        def _finish() -> None:
+            sender.end_transmit(tx)
+            for radio in affected:
+                radio.on_tx_end(tx)
+
+        self.sim.schedule(duration, _finish, priority=-1, name="phy.tx_end")
+        return tx
+
+    # -------------------------------------------------------------- queries
+    def neighbors_within(self, radio: "PhyRadio", rng: float) -> List["PhyRadio"]:
+        """Radios within ``rng`` metres of ``radio`` (excluding itself)."""
+        center = radio.position
+        limit = rng * rng
+        return [
+            other
+            for other in self._radios
+            if other is not radio and other.position.distance2_to(center) <= limit
+        ]

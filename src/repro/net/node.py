@@ -1,0 +1,106 @@
+"""A simulated node: mobility + radio + MAC + (pluggable) routing agent.
+
+The node is deliberately thin — it wires the layers together and gives
+routing agents a stable surface: ``node.position``, ``node.mac.send``,
+``node.identity``, ``node.keystore``.  Routing agents (GPSR or the
+paper's AGFW) are attached after construction via :meth:`attach_router`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional, Protocol
+
+from repro.geo.vec import Position
+from repro.net.addresses import MacAddress, mac_for_node
+from repro.net.mac.constants import DEFAULT_DOT11, Dot11Params
+from repro.net.mac.dcf import DcfMac
+from repro.net.mac.frames import MacFrame
+from repro.net.medium import RadioMedium
+from repro.net.mobility import MobilityModel
+from repro.net.packet import Packet
+from repro.net.phy import PhyRadio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.crypto.certificates import KeyStore
+
+__all__ = ["Node", "RouterAgent"]
+
+
+class RouterAgent(Protocol):
+    """The contract a routing agent fulfils."""
+
+    def start(self) -> None:
+        """Begin periodic activity (beaconing etc.)."""
+        ...
+
+    def on_packet(self, packet: Packet, frame: MacFrame) -> None:
+        """Handle a packet delivered by the MAC."""
+        ...
+
+    def send_data(self, dest_identity: str, payload_bytes: int) -> Optional[int]:
+        """Originate application data; returns the packet uid (or None if refused)."""
+        ...
+
+
+class Node:
+    """One mobile station."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        medium: RadioMedium,
+        mobility: MobilityModel,
+        rngs: RngRegistry,
+        tracer: Optional[Tracer] = None,
+        dot11: Dot11Params = DEFAULT_DOT11,
+        identity: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.identity = identity if identity is not None else f"node-{node_id}"
+        self.mobility = mobility
+        self.tracer = tracer
+        self.address: MacAddress = mac_for_node(node_id)
+        self.rngs = rngs.fork(f"node:{node_id}")
+
+        self.phy = PhyRadio(sim, node_id, medium, mobility, tracer)
+        self.mac = DcfMac(
+            sim,
+            node_id,
+            self.address,
+            self.phy,
+            rng=self.rngs.stream("mac"),
+            params=dot11,
+            tracer=tracer,
+        )
+        self.router: Optional[RouterAgent] = None
+        self.keystore: Optional["KeyStore"] = None
+
+    # ------------------------------------------------------------- plumbing
+    def attach_router(self, router: RouterAgent) -> None:
+        """Install the routing agent and route MAC upcalls into it."""
+        self.router = router
+        self.mac.receive_callback = router.on_packet
+
+    def start(self) -> None:
+        """Start the node's routing agent (call once, after attach)."""
+        if self.router is None:
+            raise RuntimeError(f"node {self.node_id} has no router attached")
+        self.router.start()
+
+    # -------------------------------------------------------------- queries
+    @property
+    def position(self) -> Position:
+        return self.mobility.position_at(self.sim.now)
+
+    def rng(self, purpose: str) -> random.Random:
+        """Per-node, per-purpose deterministic RNG stream."""
+        return self.rngs.stream(purpose)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id} '{self.identity}' @ {self.position})"

@@ -1,0 +1,63 @@
+"""Network-layer packet base class.
+
+Concrete PDU types live with the protocol that owns them (GPSR beacons in
+:mod:`repro.routing.gpsr`, AGFW data/ACK in :mod:`repro.core.agfw`, ALS
+messages in :mod:`repro.core.als`).  All of them share:
+
+* a process-unique ``uid`` used by tracing and the metric collectors,
+* a byte-size contract (``header_bytes`` + ``payload_bytes``) so the MAC
+  can compute airtime and the harness can account overhead,
+* a ``clone_for_forwarding`` hook: forwarding mutates per-hop fields
+  (e.g. the next-hop pseudonym) without aliasing the in-flight object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+__all__ = ["Packet", "next_packet_uid"]
+
+_uid_counter = itertools.count(1)
+
+
+def next_packet_uid() -> int:
+    """A process-unique, monotonically increasing packet id."""
+    return next(_uid_counter)
+
+
+@dataclass
+class Packet:
+    """Base network-layer PDU.
+
+    Subclasses set ``KIND`` and implement :meth:`header_bytes`.
+    ``payload_bytes`` is the application payload riding in the packet
+    (zero for control messages).
+    """
+
+    KIND: ClassVar[str] = "packet"
+
+    payload_bytes: int = 0
+    uid: int = field(default_factory=next_packet_uid)
+
+    def header_bytes(self) -> int:
+        """Protocol header size in bytes (subclass responsibility)."""
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Total network-layer size: header plus payload."""
+        return self.header_bytes() + self.payload_bytes
+
+    @property
+    def kind(self) -> str:
+        return type(self).KIND
+
+    def clone_for_forwarding(self, **changes: Any) -> "Packet":
+        """A copy with per-hop fields replaced; the ``uid`` is preserved.
+
+        Keeping the uid stable across hops is what lets the metric
+        collectors recognize end-to-end delivery of "the same" packet.
+        """
+        return dataclasses.replace(self, **changes)

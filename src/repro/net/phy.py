@@ -1,0 +1,147 @@
+"""Per-node radio (PHY layer).
+
+Tracks which transmissions currently impinge on this node, decides
+reception outcomes (delivered / collided / out of range), and exposes
+carrier-sense state to the MAC.
+
+Half-duplex: a radio that transmits cannot receive, and starting a
+transmission corrupts anything it was in the middle of receiving.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.geo.vec import Position
+from repro.net.mobility import MobilityModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.mac.dcf import DcfMac
+    from repro.net.medium import RadioMedium, Transmission
+
+__all__ = ["PhyRadio"]
+
+
+#: Signal-to-interference capture: a reception survives an overlapping
+#: interferer when the desired signal is >= 10 dB stronger.  With the
+#: two-ray path-loss exponent of 4 that means the interferer must be at
+#: least 10**(1/4) ~ 1.778x farther away than the desired transmitter
+#: (the classic NS-2 550 m / 250 m relationship).
+CAPTURE_DISTANCE_RATIO = 10.0 ** 0.25
+
+
+class PhyRadio:
+    """The radio of one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        medium: "RadioMedium",
+        mobility: MobilityModel,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.medium = medium
+        self.mobility = mobility
+        self.tracer = tracer
+        self.mac: Optional["DcfMac"] = None
+
+        self._impinging: Dict[int, Transmission] = {}
+        self._distances: Dict[int, float] = {}
+        self._corrupted: set[int] = set()
+        self._own_tx: Optional[Transmission] = None
+        self._last_ended_corrupted = False
+
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        medium.register(self)
+
+    # -------------------------------------------------------------- position
+    @property
+    def position(self) -> Position:
+        return self.mobility.position_at(self.sim.now)
+
+    # --------------------------------------------------------- carrier sense
+    @property
+    def carrier_busy(self) -> bool:
+        """Physical carrier sense: any impinging energy or own transmission."""
+        return bool(self._impinging) or self._own_tx is not None
+
+    @property
+    def last_reception_corrupted(self) -> bool:
+        """True when the most recent channel-release followed a collision.
+
+        The MAC uses EIFS instead of DIFS after corrupted receptions.
+        """
+        return self._last_ended_corrupted
+
+    # ------------------------------------------------------------ transmit
+    def transmit(self, frame, duration: float) -> "Transmission":
+        """Send a frame; the MAC has already won contention."""
+        return self.medium.transmit(self, frame, duration)
+
+    def begin_transmit(self, tx: "Transmission") -> None:
+        self._own_tx = tx
+        # Half-duplex: anything being received right now is lost.
+        for uid in self._impinging:
+            self._corrupted.add(uid)
+
+    def end_transmit(self, tx: "Transmission") -> None:
+        self._own_tx = None
+        if not self._impinging and self.mac is not None:
+            self.mac.on_channel_idle()
+
+    # ------------------------------------------------------------ reception
+    def on_tx_start(self, tx: "Transmission") -> None:
+        was_idle = not self.carrier_busy
+        own_pos = self.position
+        new_distance = own_pos.distance_to(tx.sender_pos)
+        if self._own_tx is not None:
+            # Half-duplex: nothing arriving during our own TX is decodable.
+            self._corrupted.add(tx.uid)
+        for uid, other in self._impinging.items():
+            other_distance = self._distances[uid]
+            # Pairwise capture: a reception is ruined only by an interferer
+            # whose signal is within 10 dB of (or stronger than) it.
+            if new_distance < other_distance * CAPTURE_DISTANCE_RATIO:
+                self._corrupted.add(uid)
+            if other_distance < new_distance * CAPTURE_DISTANCE_RATIO:
+                self._corrupted.add(tx.uid)
+        self._impinging[tx.uid] = tx
+        self._distances[tx.uid] = new_distance
+        if was_idle and self.mac is not None:
+            self.mac.on_channel_busy()
+
+    def on_tx_end(self, tx: "Transmission") -> None:
+        self._impinging.pop(tx.uid, None)
+        self._distances.pop(tx.uid, None)
+        corrupted = tx.uid in self._corrupted
+        self._corrupted.discard(tx.uid)
+
+        deliverable = tx.deliverable_to.get(self.node_id, False)
+        if deliverable and not corrupted:
+            self.frames_delivered += 1
+            if self.mac is not None:
+                self.mac.on_frame(tx.frame, tx)
+        elif deliverable and corrupted:
+            self.frames_collided += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now,
+                    "phy.collision",
+                    node=self.node_id,
+                    frame_uid=tx.frame.uid,
+                    frame_kind=tx.frame.kind.value,
+                )
+
+        if not self.carrier_busy:
+            # EIFS applies only after a decodable frame failed its CRC; a
+            # transmission that was merely sensed (out of radio range) is
+            # plain channel noise and releases with a normal DIFS.
+            self._last_ended_corrupted = deliverable and corrupted
+            if self.mac is not None:
+                self.mac.on_channel_idle()

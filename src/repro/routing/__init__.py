@@ -1,0 +1,29 @@
+"""Baseline geographic routing: GPSR (greedy + perimeter recovery)."""
+
+from repro.routing.base import BaseRouter, RouterStats, RoutingConfig
+from repro.routing.gpsr import GpsrBeacon, GpsrConfig, GpsrData, GpsrRouter
+from repro.routing.neighbor_table import NeighborEntry, NeighborTable
+from repro.routing.planar import (
+    crossing_point,
+    gabriel_neighbors,
+    right_hand_neighbor,
+    rng_neighbors,
+    segments_cross,
+)
+
+__all__ = [
+    "BaseRouter",
+    "RouterStats",
+    "RoutingConfig",
+    "GpsrBeacon",
+    "GpsrConfig",
+    "GpsrData",
+    "GpsrRouter",
+    "NeighborEntry",
+    "NeighborTable",
+    "crossing_point",
+    "gabriel_neighbors",
+    "right_hand_neighbor",
+    "rng_neighbors",
+    "segments_cross",
+]

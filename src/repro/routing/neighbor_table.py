@@ -1,0 +1,88 @@
+"""The plain (non-anonymous) neighbor table used by GPSR.
+
+Each beacon received inserts/refreshes an entry keyed by the sender's
+*identity*; entries expire after a timeout (GPSR uses 4.5 beacon
+intervals).  This is exactly the table the paper's threat model attacks:
+every entry is an (identity, location) doublet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.geo.vec import Position
+from repro.net.addresses import MacAddress
+
+__all__ = ["NeighborEntry", "NeighborTable"]
+
+
+@dataclass
+class NeighborEntry:
+    """One known neighbor."""
+
+    identity: str
+    mac: MacAddress
+    position: Position
+    timestamp: float
+
+    def age(self, now: float) -> float:
+        return now - self.timestamp
+
+
+class NeighborTable:
+    """Identity-keyed neighbor table with expiry."""
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self._entries: Dict[str, NeighborEntry] = {}
+
+    def update(self, identity: str, mac: MacAddress, position: Position, now: float) -> None:
+        """Insert or refresh a neighbor from a received beacon."""
+        self._entries[identity] = NeighborEntry(identity, mac, position, now)
+
+    def remove(self, identity: str) -> None:
+        """Drop a neighbor (e.g. after a MAC-level delivery failure)."""
+        self._entries.pop(identity, None)
+
+    def purge(self, now: float) -> int:
+        """Remove expired entries; returns how many were dropped."""
+        expired = [k for k, e in self._entries.items() if e.age(now) > self.timeout]
+        for key in expired:
+            del self._entries[key]
+        return len(expired)
+
+    def get(self, identity: str) -> Optional[NeighborEntry]:
+        return self._entries.get(identity)
+
+    def entries(self, now: Optional[float] = None) -> List[NeighborEntry]:
+        """Live entries (filtering expired ones when ``now`` is given)."""
+        if now is None:
+            return list(self._entries.values())
+        return [e for e in self._entries.values() if e.age(now) <= self.timeout]
+
+    def best_towards(
+        self, target: Position, own_position: Position, now: float
+    ) -> Optional[NeighborEntry]:
+        """Greedy choice: the neighbor strictly closer to ``target`` than we are.
+
+        Returns None at a local maximum (the greedy dead end the paper's
+        recovery discussion is about).
+        """
+        own_d2 = own_position.distance2_to(target)
+        best: Optional[NeighborEntry] = None
+        best_d2 = own_d2
+        for entry in self.entries(now):
+            d2 = entry.position.distance2_to(target)
+            if d2 < best_d2:
+                best = entry
+                best_d2 = d2
+        return best
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, identity: str) -> bool:
+        return identity in self._entries

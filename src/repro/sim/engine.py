@@ -1,0 +1,201 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate every other subsystem runs on: the wireless
+medium, the 802.11 MAC, routing agents, traffic sources, and mobility all
+schedule events against a single :class:`Simulator` instance.
+
+Design notes
+------------
+* Events are kept in a binary heap ordered by ``(time, priority, seq)``.
+  The monotonically increasing sequence number makes ordering fully
+  deterministic: two events scheduled for the same instant fire in the
+  order they were scheduled (unless an explicit priority says otherwise).
+* Cancellation is *lazy*: :meth:`Simulator.cancel` marks the event and the
+  main loop skips cancelled entries when they surface.  This keeps both
+  ``schedule`` and ``cancel`` O(log n) / O(1).
+* Time is a float in **seconds** of simulated time.  MAC-level code deals
+  in microseconds; helpers in :mod:`repro.net.mac.constants` convert.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and act as handles
+    for cancellation.  They should not be constructed directly.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None]
+    name: str = ""
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when it reaches the queue head."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event({self.name or self.callback!r} @ {self.time:.6f}s, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (skipped cancellations excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including lazily cancelled)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all events
+        already scheduled for the current instant.  Lower ``priority`` values
+        fire earlier among events at the same time.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f} < now {self._now:.9f}"
+            )
+        self._seq += 1
+        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event; ``None`` is accepted and ignored."""
+        if event is not None:
+            event.cancel()
+
+    # ---------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue empties, ``until`` is reached, or ``max_events`` fire.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` execute.
+        After returning, :attr:`now` equals the time of the last executed
+        event, or ``until`` when a horizon was given and reached.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.cancelled = True  # consumed; handle can no longer cancel
+                event.callback()
+                self._processed += 1
+                executed += 1
+            else:
+                if until is not None and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------- inspection
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield pending events in an unspecified order (inspection only)."""
+        return (e for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}s, pending={self.pending_events})"
+
+
+def call_later(sim: Simulator, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    """Convenience wrapper binding ``*args`` into a scheduled call."""
+    return sim.schedule(delay, lambda: fn(*args), name=getattr(fn, "__name__", ""))

@@ -1,0 +1,102 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects typed trace records emitted by any simulation
+component.  Traces power the metric collectors, the adversary modules (a
+sniffer is just a consumer of PHY traces within radio range), and debugging.
+
+Records are plain dataclasses, cheap to emit and filter.  Tracing of a
+category can be disabled entirely so hot paths pay one dict lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``category`` is a short dotted tag (``"phy.tx"``, ``"mac.drop"``,
+    ``"route.forward"``, ``"app.recv"``); ``node`` is the emitting node id
+    (or ``None`` for global records); ``data`` carries event-specific fields.
+    """
+
+    time: float
+    category: str
+    node: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects and dispatches to subscribers.
+
+    Subscribers (e.g. metric collectors, adversary sniffers) register a
+    callback per category prefix and receive records as they are emitted,
+    so online analyses never need the full in-memory log.  Retention of the
+    full log is optional (``keep=False`` for long benchmark runs).
+    """
+
+    def __init__(self, keep: bool = True) -> None:
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[tuple[str, Callable[[TraceRecord], None]]] = []
+        self._muted: set[str] = set()
+
+    # ----------------------------------------------------------------- emit
+    def emit(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **data: Any,
+    ) -> None:
+        """Record an event. ``data`` keys are event-specific payload fields."""
+        if category in self._muted:
+            return
+        record = TraceRecord(time=time, category=category, node=node, data=data)
+        if self.keep:
+            self.records.append(record)
+        for prefix, callback in self._subscribers:
+            if category.startswith(prefix):
+                callback(record)
+
+    # ------------------------------------------------------------ subscribe
+    def subscribe(self, prefix: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record whose category starts with ``prefix``."""
+        self._subscribers.append((prefix, callback))
+
+    def mute(self, category: str) -> None:
+        """Drop records of an exact category (hot-path suppression)."""
+        self._muted.add(category)
+
+    def unmute(self, category: str) -> None:
+        self._muted.discard(category)
+
+    # -------------------------------------------------------------- queries
+    def filter(self, prefix: str) -> Iterator[TraceRecord]:
+        """Yield retained records whose category starts with ``prefix``."""
+        return (r for r in self.records if r.category.startswith(prefix))
+
+    def count(self, prefix: str) -> int:
+        """Number of retained records under ``prefix``."""
+        return sum(1 for _ in self.filter(prefix))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def categories(self) -> Dict[str, int]:
+        """Histogram of retained record categories."""
+        hist: Dict[str, int] = {}
+        for record in self.records:
+            hist[record.category] = hist.get(record.category, 0) + 1
+        return hist
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,6 @@
+"""Traffic generation: CBR flows and the paper's workload."""
+
+from repro.traffic.cbr import CbrFlow, CbrSource
+from repro.traffic.workload import make_flows, make_paper_flows
+
+__all__ = ["CbrFlow", "CbrSource", "make_flows", "make_paper_flows"]

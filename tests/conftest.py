@@ -1,0 +1,122 @@
+"""Shared test fixtures and topology builders."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.core.agfw import AgfwRouter
+from repro.core.config import AgfwConfig
+from repro.geo.vec import Position
+from repro.location.service import OracleLocationService
+from repro.net.medium import RadioMedium
+from repro.net.mobility import StaticMobility
+from repro.net.node import Node
+from repro.routing.gpsr import GpsrConfig, GpsrRouter
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class TestNet:
+    """A ready-made static network for protocol tests."""
+
+    sim: Simulator
+    tracer: Tracer
+    medium: RadioMedium
+    nodes: List[Node]
+    oracle: OracleLocationService
+
+    def node_at(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def deliveries(self) -> list:
+        return [(r.node, r.data["packet_uid"], r.time) for r in self.tracer.filter("app.recv")]
+
+    def sends(self) -> list:
+        return [(r.node, r.data["packet_uid"], r.time) for r in self.tracer.filter("app.send")]
+
+
+def build_static_net(
+    positions: Sequence[Position],
+    protocol: str = "gpsr",
+    seed: int = 42,
+    agfw_config: Optional[AgfwConfig] = None,
+    gpsr_config: Optional[GpsrConfig] = None,
+    start: bool = True,
+    attach_routers: bool = True,
+) -> TestNet:
+    """Build a static network with one node per position."""
+    sim = Simulator()
+    tracer = Tracer()
+    medium = RadioMedium(sim, tracer)
+    rngs = RngRegistry(seed)
+    oracle = OracleLocationService(sim)
+    nodes: List[Node] = []
+    for index, position in enumerate(positions):
+        node = Node(sim, index, medium, StaticMobility(position), rngs, tracer)
+        nodes.append(node)
+    oracle.register_all(nodes)
+    if attach_routers:
+        for node in nodes:
+            if protocol == "gpsr":
+                router = GpsrRouter(node, oracle, gpsr_config or GpsrConfig(), tracer)
+            elif protocol == "agfw":
+                router = AgfwRouter(node, oracle, agfw_config or AgfwConfig(), tracer)
+            else:
+                raise ValueError(f"unknown protocol {protocol!r}")
+            node.attach_router(router)
+        if start:
+            for node in nodes:
+                node.start()
+    return TestNet(sim=sim, tracer=tracer, medium=medium, nodes=nodes, oracle=oracle)
+
+
+def line_positions(count: int, spacing: float = 200.0) -> List[Position]:
+    """Evenly spaced nodes on the x axis (spacing < radio range by default)."""
+    return [Position(i * spacing, 0.0) for i in range(count)]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+# Deterministic, session-scoped RSA keys: keygen is the slowest crypto
+# operation and most tests only need *some* valid keypair.
+@pytest.fixture(scope="session")
+def rsa_keys():
+    from repro.crypto.rsa import generate_keypair
+
+    key_rng = random.Random(99)
+    return [generate_keypair(512, key_rng) for _ in range(8)]
+
+
+@pytest.fixture(scope="session")
+def ca_with_nodes():
+    """A CA plus six enrolled identities with warmed keystores."""
+    from repro.crypto.certificates import CertificateAuthority, KeyStore
+
+    ca = CertificateAuthority(rng=random.Random(7))
+    stores = []
+    for index in range(6):
+        key, cert = ca.enroll(f"node-{index}")
+        stores.append(KeyStore(f"node-{index}", key, cert))
+    certs = [s.certificate for s in stores]
+    for store in stores:
+        store.add_all(certs)
+    return ca, stores

@@ -1,0 +1,138 @@
+"""Tests for the network-layer ACK manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ack import AckManager
+from repro.core.config import AgfwConfig
+from repro.sim.engine import Simulator
+
+
+class _Harness:
+    def __init__(self, **config_kwargs):
+        self.sim = Simulator()
+        self.retransmitted = []
+        self.given_up = []
+        self.acks_sent = []
+        self.manager = AckManager(
+            self.sim,
+            AgfwConfig(**config_kwargs),
+            retransmit=self.retransmitted.append,
+            give_up=lambda packet, ref: self.given_up.append((packet, ref)),
+            send_ack=self.acks_sent.append,
+        )
+
+
+def test_ack_before_timeout_no_retransmit():
+    h = _Harness(ack_timeout=0.03)
+    h.manager.watch("pkt", b"ref1")
+    h.sim.schedule(0.01, lambda: h.manager.on_ack_refs((b"ref1",)))
+    h.sim.run(until=1.0)
+    assert h.retransmitted == []
+    assert h.given_up == []
+    assert h.manager.acks_matched == 1
+
+
+def test_timeout_retransmits():
+    h = _Harness(ack_timeout=0.03, max_retransmissions=3)
+    h.manager.watch("pkt", b"ref1")
+    h.sim.run(until=0.05)
+    assert h.retransmitted == ["pkt"]
+
+
+def test_retransmissions_backoff_exponentially():
+    h = _Harness(ack_timeout=0.01, max_retransmissions=3)
+    times = []
+    h.manager._retransmit = lambda p: times.append(h.sim.now)
+    h.manager.watch("pkt", b"r")
+    h.sim.run(until=1.0)
+    assert len(times) == 3
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps[1] > gaps[0] * 1.5  # doubling timeouts
+
+
+def test_give_up_after_max_retransmissions():
+    h = _Harness(ack_timeout=0.01, max_retransmissions=2)
+    h.manager.watch("pkt", b"ref1")
+    h.sim.run(until=1.0)
+    assert len(h.retransmitted) == 2
+    assert h.given_up == [("pkt", b"ref1")]
+    assert h.manager.pending_count == 0
+
+
+def test_zero_retransmissions_gives_up_immediately():
+    h = _Harness(ack_timeout=0.01, max_retransmissions=0)
+    h.manager.watch("pkt", b"ref1")
+    h.sim.run(until=1.0)
+    assert h.retransmitted == []
+    assert len(h.given_up) == 1
+
+
+def test_ack_for_unknown_ref_ignored():
+    h = _Harness()
+    assert h.manager.on_ack_refs((b"nope",)) == 0
+
+
+def test_batch_ack_matches_multiple():
+    h = _Harness(ack_timeout=1.0)
+    h.manager.watch("a", b"r1")
+    h.manager.watch("b", b"r2")
+    assert h.manager.on_ack_refs((b"r1", b"r2", b"r3")) == 2
+    h.sim.run(until=5.0)
+    assert h.retransmitted == []
+
+
+def test_rewatch_restarts_timer():
+    h = _Harness(ack_timeout=0.03, max_retransmissions=1)
+    h.manager.watch("pkt", b"ref1")
+    h.sim.schedule(0.02, lambda: h.manager.watch("pkt2", b"ref1"))
+    h.sim.run(until=0.04)
+    assert h.retransmitted == []  # timer restarted at 0.02
+    h.sim.run(until=0.06)
+    assert h.retransmitted == ["pkt2"]
+
+
+def test_drop_pending():
+    h = _Harness(ack_timeout=0.01)
+    h.manager.watch("pkt", b"ref1")
+    h.manager.drop_pending(b"ref1")
+    h.sim.run(until=1.0)
+    assert h.retransmitted == []
+
+
+# ---------------------------------------------------------------- receiver
+def test_queued_acks_flush_in_one_packet():
+    h = _Harness()
+    h.manager.queue_ack(b"a")
+    h.manager.queue_ack(b"b")
+    h.sim.run(until=0.1)
+    assert h.acks_sent == [(b"a", b"b")]
+
+
+def test_piggyback_drains_buffer():
+    h = _Harness(piggyback_acks=True)
+    h.manager.queue_ack(b"a")
+    refs = h.manager.take_piggyback_refs()
+    assert refs == (b"a",)
+    h.sim.run(until=0.1)
+    assert h.acks_sent == []  # nothing left to flush
+
+
+def test_piggyback_disabled_returns_empty():
+    h = _Harness(piggyback_acks=False)
+    h.manager.queue_ack(b"a")
+    assert h.manager.take_piggyback_refs() == ()
+    h.sim.run(until=0.1)
+    assert h.acks_sent == [(b"a",)]  # standalone flush still happens
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AgfwConfig(ack_timeout=0.0)
+    with pytest.raises(ValueError):
+        AgfwConfig(max_retransmissions=-1)
+    with pytest.raises(ValueError):
+        AgfwConfig(pseudonym_memory=0)
+    with pytest.raises(ValueError):
+        AgfwConfig(crypto_mode="imaginary")

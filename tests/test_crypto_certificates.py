@@ -1,0 +1,140 @@
+"""Tests for the CA / certificate / keystore substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.certificates import CertificateAuthority, CertificateError, KeyStore
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(rng=random.Random(11), key_bits=512)
+
+
+def test_issue_and_verify(ca, rsa_keys):
+    cert = ca.issue("alice", rsa_keys[0].public())
+    assert ca.verify(cert)
+    assert cert.subject == "alice"
+    assert cert.issuer == ca.name
+
+
+def test_enroll_generates_matching_pair(ca):
+    key, cert = ca.enroll("bob")
+    assert cert.public_key == key.public()
+    assert ca.verify(cert)
+
+
+def test_serials_unique(ca, rsa_keys):
+    a = ca.issue("x", rsa_keys[0].public())
+    b = ca.issue("y", rsa_keys[1].public())
+    assert a.serial != b.serial
+
+
+def test_tampered_subject_rejected(ca, rsa_keys):
+    import dataclasses
+
+    cert = ca.issue("honest", rsa_keys[0].public())
+    forged = dataclasses.replace(cert, subject="mallory")
+    assert not ca.verify(forged)
+
+
+def test_foreign_issuer_rejected(ca, rsa_keys):
+    other = CertificateAuthority(name="evil-ca", rng=random.Random(5), key_bits=512)
+    cert = other.issue("mallory", rsa_keys[0].public())
+    assert not ca.verify(cert)
+
+
+def test_revocation(ca, rsa_keys):
+    cert = ca.issue("victim", rsa_keys[2].public())
+    assert ca.verify(cert)
+    ca.revoke(cert.serial)
+    assert ca.is_revoked(cert.serial)
+    assert not ca.verify(cert)
+
+
+def test_revoke_unknown_serial_raises(ca):
+    with pytest.raises(CertificateError):
+        ca.revoke(999999)
+
+
+def test_validity_window(ca, rsa_keys):
+    cert = ca.issue("timed", rsa_keys[3].public(), not_before=10.0, not_after=20.0)
+    assert not ca.verify(cert, at_time=5.0)
+    assert ca.verify(cert, at_time=15.0)
+    assert not ca.verify(cert, at_time=25.0)
+
+
+def test_empty_validity_rejected(ca, rsa_keys):
+    with pytest.raises(ValueError):
+        ca.issue("bad", rsa_keys[0].public(), not_before=5.0, not_after=5.0)
+
+
+def test_byte_size_reasonable(ca, rsa_keys):
+    cert = ca.issue("sized", rsa_keys[0].public())
+    assert 100 < cert.byte_size() < 400
+
+
+# ------------------------------------------------------------------ keystore
+def test_keystore_rejects_mismatched_identity(ca):
+    key, cert = ca.enroll("carol")
+    with pytest.raises(CertificateError):
+        KeyStore("not-carol", key, cert)
+
+
+def test_keystore_rejects_mismatched_key(ca, rsa_keys):
+    _key, cert = ca.enroll("dave")
+    with pytest.raises(CertificateError):
+        KeyStore("dave", rsa_keys[0], cert)
+
+
+def test_keystore_cache_and_lookup(ca_with_nodes):
+    _ca, stores = ca_with_nodes
+    store = stores[0]
+    assert store.get("node-3") is not None
+    assert store.get_by_serial(store.get("node-3").serial).subject == "node-3"
+    assert "node-5" in store
+    assert len(store) == 6
+
+
+def test_pick_ring_contains_self_and_k_decoys(ca_with_nodes, rng):
+    _ca, stores = ca_with_nodes
+    store = stores[0]
+    ring = store.pick_ring(3, rng)
+    subjects = [c.subject for c in ring]
+    assert len(ring) == 4
+    assert store.identity in subjects
+    assert len(set(subjects)) == 4
+
+
+def test_pick_ring_randomizes_signer_position(ca_with_nodes):
+    """A fixed signer slot would deanonymize; positions must vary."""
+    _ca, stores = ca_with_nodes
+    store = stores[0]
+    rng = random.Random(0)
+    positions = {
+        store.ring_index_of_self(store.pick_ring(4, rng)) for _ in range(50)
+    }
+    assert len(positions) > 1
+
+
+def test_pick_ring_insufficient_decoys(ca_with_nodes, rng):
+    _ca, stores = ca_with_nodes
+    with pytest.raises(CertificateError):
+        stores[0].pick_ring(99, rng)
+
+
+def test_pick_ring_negative_k(ca_with_nodes, rng):
+    _ca, stores = ca_with_nodes
+    with pytest.raises(ValueError):
+        stores[0].pick_ring(-1, rng)
+
+
+def test_ring_index_of_self_missing(ca_with_nodes, rng):
+    _ca, stores = ca_with_nodes
+    ring = stores[1].pick_ring(2, rng)
+    foreign = [c for c in ring if c.subject != stores[0].identity]
+    with pytest.raises(CertificateError):
+        stores[0].ring_index_of_self(foreign)

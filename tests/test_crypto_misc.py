@@ -1,0 +1,109 @@
+"""Tests for hashing utilities and the crypto cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import hash_to_int, hmac_sha256, mgf1, sha256, truncated_digest
+from repro.crypto.timing import DEFAULT_COST_MODEL, CryptoCostModel
+
+
+# ------------------------------------------------------------------ hashing
+def test_sha256_concatenates_parts():
+    assert sha256(b"ab", b"c") == sha256(b"abc")
+
+
+def test_sha256_known_vector():
+    assert sha256(b"").hex() == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_mgf1_lengths():
+    assert len(mgf1(b"seed", 0)) == 0
+    assert len(mgf1(b"seed", 17)) == 17
+    assert len(mgf1(b"seed", 100)) == 100
+
+
+def test_mgf1_deterministic_and_prefix_consistent():
+    assert mgf1(b"s", 64)[:32] == mgf1(b"s", 32)
+
+
+def test_mgf1_negative_length():
+    with pytest.raises(ValueError):
+        mgf1(b"s", -1)
+
+
+def test_truncated_digest_short_and_long():
+    assert len(truncated_digest(b"x", 8)) == 8
+    assert len(truncated_digest(b"x", 100)) == 100
+
+
+def test_hmac_differs_by_key():
+    assert hmac_sha256(b"k1", b"m") != hmac_sha256(b"k2", b"m")
+
+
+@given(st.binary(max_size=64), st.integers(min_value=1, max_value=512))
+@settings(max_examples=100)
+def test_hash_to_int_in_range(data, bits):
+    value = hash_to_int(data, bits)
+    assert 0 <= value < 2**bits
+
+
+# --------------------------------------------------------------- cost model
+def test_paper_constants():
+    """0.5 ms encrypt / 8.5 ms decrypt / 64-byte trapdoor (paper Sec 5)."""
+    model = DEFAULT_COST_MODEL
+    assert model.pk_encrypt_s == pytest.approx(0.5e-3)
+    assert model.pk_decrypt_s == pytest.approx(8.5e-3)
+    assert model.trapdoor_bytes == 64
+    assert model.rsa_block_bytes == 64
+
+
+def test_ring_costs_scale_linearly():
+    model = DEFAULT_COST_MODEL
+    assert model.ring_verify_cost(10) == pytest.approx(10 * model.pk_verify_s)
+    assert model.ring_sign_cost(10) == pytest.approx(
+        model.pk_sign_s + 10 * model.pk_verify_s
+    )
+
+
+def test_ring_signature_bytes_grow_with_ring():
+    model = DEFAULT_COST_MODEL
+    assert model.ring_signature_bytes(5) > model.ring_signature_bytes(2)
+    assert model.ring_signature_bytes(1) == model.ring_element_bytes * 2
+
+
+def test_aant_overhead_certificates_vs_serials():
+    """Attaching certificates costs much more than listing serials —
+    the optimization the paper suggests for warmed caches."""
+    model = DEFAULT_COST_MODEL
+    with_certs = model.aant_hello_extra_bytes(5, attach_certificates=True)
+    with_serials = model.aant_hello_extra_bytes(5, attach_certificates=False)
+    assert with_certs > with_serials
+    assert with_certs - with_serials == 5 * (
+        model.certificate_bytes - model.cert_serial_bytes
+    )
+
+
+def test_invalid_ring_sizes_rejected():
+    model = DEFAULT_COST_MODEL
+    with pytest.raises(ValueError):
+        model.ring_verify_cost(0)
+    with pytest.raises(ValueError):
+        model.ring_sign_cost(0)
+    with pytest.raises(ValueError):
+        model.ring_signature_bytes(0)
+
+
+def test_cost_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COST_MODEL.pk_encrypt_s = 1.0  # type: ignore[misc]
+
+
+def test_custom_cost_model():
+    model = CryptoCostModel(pk_encrypt_s=1e-3, pk_decrypt_s=2e-3)
+    assert model.pk_encrypt_s == 1e-3
+    assert model.ring_verify_cost(2) == pytest.approx(2 * model.pk_verify_s)

@@ -1,0 +1,75 @@
+"""Tests for primality testing and prime generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 100, 7917, 2**31, 561, 41041, 825265]  # incl. Carmichael
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes_accepted(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_rejected(n):
+    assert not is_probable_prime(n)
+
+
+def test_negative_and_small():
+    assert not is_probable_prime(-7)
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(1)
+
+
+def test_large_known_prime():
+    # 2^521 - 1 is a Mersenne prime.
+    assert is_probable_prime(2**521 - 1)
+
+
+def test_large_known_composite():
+    assert not is_probable_prime((2**127 - 1) * (2**61 - 1))
+
+
+def test_generate_prime_exact_bits():
+    rng = random.Random(0)
+    for bits in (16, 64, 256):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_is_odd():
+    rng = random.Random(1)
+    assert generate_prime(32, rng) % 2 == 1
+
+
+def test_generate_prime_rejects_tiny_sizes():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))
+
+
+def test_generate_prime_deterministic_from_seed():
+    assert generate_prime(64, random.Random(5)) == generate_prime(64, random.Random(5))
+
+
+@given(st.integers(min_value=2, max_value=100000))
+@settings(max_examples=200)
+def test_matches_trial_division(n):
+    def trial(n: int) -> bool:
+        if n < 2:
+            return False
+        for d in range(2, int(n**0.5) + 1):
+            if n % d == 0:
+                return False
+        return True
+
+    assert is_probable_prime(n) == trial(n)

@@ -1,0 +1,151 @@
+"""Tests for the RSA implementation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import (
+    DecryptionError,
+    MessageTooLong,
+    generate_keypair,
+)
+
+
+@pytest.fixture(scope="module")
+def key(rsa_keys):
+    return rsa_keys[0]
+
+
+@pytest.fixture(scope="module")
+def other_key(rsa_keys):
+    return rsa_keys[1]
+
+
+def test_key_sizes(key):
+    assert key.n.bit_length() == 512
+    assert key.byte_size == 64
+    assert key.public().byte_size == 64
+
+
+def test_512_bit_block_is_64_bytes_paper_claim(key, rng):
+    """The paper: trapdoor <= 64 bytes with a 512-bit key."""
+    ciphertext = key.public().encrypt(b"src|loc|tag", rng=rng)
+    assert len(ciphertext) == 64
+
+
+def test_encrypt_decrypt_roundtrip(key, rng):
+    message = b"hello anonymous world"
+    assert key.decrypt(key.public().encrypt(message, rng=rng)) == message
+
+
+def test_encrypt_empty_message(key, rng):
+    assert key.decrypt(key.public().encrypt(b"", rng=rng)) == b""
+
+
+def test_max_plaintext_boundary(key, rng):
+    maximum = key.public().max_plaintext
+    message = b"x" * maximum
+    assert key.decrypt(key.public().encrypt(message, rng=rng)) == message
+    with pytest.raises(MessageTooLong):
+        key.public().encrypt(b"x" * (maximum + 1), rng=rng)
+
+
+def test_encryption_is_randomized(key, rng):
+    first = key.public().encrypt(b"same", rng=rng)
+    second = key.public().encrypt(b"same", rng=rng)
+    assert first != second
+
+
+def test_decrypt_with_wrong_key_fails(key, other_key, rng):
+    ciphertext = key.public().encrypt(b"secret", rng=rng)
+    with pytest.raises(DecryptionError):
+        other_key.decrypt(ciphertext)
+
+
+def test_decrypt_wrong_length_rejected(key):
+    with pytest.raises(DecryptionError):
+        key.decrypt(b"\x00" * 63)
+
+
+def test_hybrid_roundtrip_long_message(key, rng):
+    message = bytes(range(256)) * 4
+    ciphertext = key.public().encrypt_hybrid(message, rng=rng)
+    assert key.decrypt_hybrid(ciphertext) == message
+    assert len(ciphertext) == 64 + len(message)
+
+
+def test_hybrid_wrong_key_fails(key, other_key, rng):
+    ciphertext = key.public().encrypt_hybrid(b"payload" * 30, rng=rng)
+    with pytest.raises(DecryptionError):
+        other_key.decrypt_hybrid(ciphertext)
+
+
+def test_hybrid_truncated_rejected(key):
+    with pytest.raises(DecryptionError):
+        key.decrypt_hybrid(b"\x01" * 10)
+
+
+def test_sign_verify(key):
+    signature = key.sign(b"message")
+    assert key.public().verify(b"message", signature)
+
+
+def test_signature_rejects_tampered_message(key):
+    signature = key.sign(b"message")
+    assert not key.public().verify(b"messagf", signature)
+
+
+def test_signature_rejects_tampered_signature(key):
+    signature = bytearray(key.sign(b"message"))
+    signature[5] ^= 0x01
+    assert not key.public().verify(b"message", bytes(signature))
+
+
+def test_signature_wrong_key_rejected(key, other_key):
+    signature = key.sign(b"message")
+    assert not other_key.public().verify(b"message", signature)
+
+
+def test_verify_wrong_length_is_false_not_raise(key):
+    assert not key.public().verify(b"m", b"short")
+
+
+def test_raw_permutation_roundtrip(key):
+    value = 123456789
+    assert key.apply(key.public().apply(value)) == value
+
+
+def test_raw_permutation_range_checked(key):
+    with pytest.raises(Exception):
+        key.public().apply(key.n)
+
+
+def test_public_key_serialization_stable(key):
+    pub = key.public()
+    assert pub.to_bytes() == pub.to_bytes()
+    assert len(pub.fingerprint()) == 8
+
+
+def test_generate_rejects_odd_bits():
+    with pytest.raises(ValueError):
+        generate_keypair(511)
+    with pytest.raises(ValueError):
+        generate_keypair(128)
+
+
+def test_keygen_deterministic_from_rng():
+    a = generate_keypair(512, random.Random(3))
+    b = generate_keypair(512, random.Random(3))
+    assert a.n == b.n
+
+
+@given(st.binary(min_size=0, max_size=53))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(rsa_keys, data):
+    key = rsa_keys[2]
+    rng = random.Random(0)
+    assert key.decrypt(key.public().encrypt(data, rng=rng)) == data

@@ -1,0 +1,94 @@
+"""Tests for the symmetric primitives (stream cipher, Feistel permutation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import FeistelPermutation, StreamCipher
+
+
+# ------------------------------------------------------------ stream cipher
+def test_stream_roundtrip():
+    cipher = StreamCipher(b"key")
+    ct = cipher.encrypt(b"nonce", b"plaintext")
+    assert cipher.decrypt(b"nonce", ct) == b"plaintext"
+    assert ct != b"plaintext"
+
+
+def test_stream_different_nonce_differs():
+    cipher = StreamCipher(b"key")
+    assert cipher.encrypt(b"n1", b"data") != cipher.encrypt(b"n2", b"data")
+
+
+def test_stream_different_key_differs():
+    assert StreamCipher(b"k1").encrypt(b"n", b"data") != StreamCipher(b"k2").encrypt(b"n", b"data")
+
+
+def test_stream_empty_key_rejected():
+    with pytest.raises(ValueError):
+        StreamCipher(b"")
+
+
+def test_stream_long_message():
+    cipher = StreamCipher(b"key")
+    message = bytes(i % 256 for i in range(10_000))
+    assert cipher.decrypt(b"n", cipher.encrypt(b"n", message)) == message
+
+
+def test_keystream_deterministic():
+    assert StreamCipher(b"k").keystream(b"n", 64) == StreamCipher(b"k").keystream(b"n", 64)
+
+
+# --------------------------------------------------------- Feistel permutation
+def test_feistel_roundtrip_int():
+    perm = FeistelPermutation(b"key", width=8)
+    for value in (0, 1, 12345, perm.modulus - 1):
+        assert perm.decrypt_int(perm.encrypt_int(value)) == value
+
+
+def test_feistel_roundtrip_bytes():
+    perm = FeistelPermutation(b"key", width=16)
+    block = bytes(range(16))
+    assert perm.decrypt(perm.encrypt(block)) == block
+
+
+def test_feistel_is_permutation_on_small_domain():
+    perm = FeistelPermutation(b"key", width=2)
+    outputs = {perm.encrypt_int(v) for v in range(65536)}
+    assert len(outputs) == 65536
+
+
+def test_feistel_key_sensitivity():
+    a = FeistelPermutation(b"key-a", width=8)
+    b = FeistelPermutation(b"key-b", width=8)
+    assert a.encrypt_int(42) != b.encrypt_int(42)
+
+
+def test_feistel_odd_width_rejected():
+    with pytest.raises(ValueError):
+        FeistelPermutation(b"k", width=7)
+
+
+def test_feistel_zero_width_rejected():
+    with pytest.raises(ValueError):
+        FeistelPermutation(b"k", width=0)
+
+
+def test_feistel_wrong_block_length_rejected():
+    perm = FeistelPermutation(b"k", width=8)
+    with pytest.raises(ValueError):
+        perm.encrypt(b"short")
+
+
+def test_feistel_modulus():
+    assert FeistelPermutation(b"k", width=4).modulus == 2**32
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=100)
+def test_feistel_inverse_property(value):
+    perm = FeistelPermutation(b"prop-key", width=8)
+    assert perm.decrypt_int(perm.encrypt_int(value)) == value
+    assert perm.encrypt_int(perm.decrypt_int(value)) == value

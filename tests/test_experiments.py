@@ -1,0 +1,96 @@
+"""Tests for the experiment harness: fig1 formatting, security, overhead,
+and the one-stop runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig1 import Fig1Point, format_fig1a, format_fig1b, run_fig1
+from repro.experiments.overhead import (
+    aant_overhead_table,
+    format_aant_overhead,
+    format_location_service_comparison,
+    run_location_service_comparison,
+)
+from repro.experiments.security import format_exposure, run_exposure_experiment
+
+
+def _point(scheme, nodes, pdf=0.9, latency=25.0):
+    return Fig1Point(
+        scheme=scheme, num_nodes=nodes, delivery_fraction=pdf,
+        mean_latency_ms=latency, sent=100, delivered=int(100 * pdf), collisions=0,
+    )
+
+
+# ------------------------------------------------------------------- fig1
+def test_run_fig1_tiny_sweep():
+    points = run_fig1(node_counts=(20,), schemes=("agfw",), sim_time=5.0, seed=2)
+    assert len(points) == 1
+    point = points[0]
+    assert point.scheme == "agfw"
+    assert point.sent > 0
+    assert 0 <= point.delivery_fraction <= 1
+
+
+def test_format_fig1a_layout():
+    points = [_point("gpsr", 50), _point("agfw", 50), _point("agfw-noack", 50, 0.6)]
+    text = format_fig1a(points)
+    assert "Figure 1(a)" in text
+    assert "gpsr" in text and "agfw-noack" in text
+    assert "0.600" in text
+
+
+def test_format_fig1b_excludes_noack():
+    points = [_point("gpsr", 50), _point("agfw", 50), _point("agfw-noack", 50)]
+    text = format_fig1b(points)
+    assert "agfw-noack" not in text
+    assert "25.00" in text
+
+
+def test_format_handles_missing_cells():
+    points = [_point("gpsr", 50), _point("agfw", 100)]
+    text = format_fig1a(points)
+    assert "50" in text and "100" in text  # both rows render
+
+
+# ---------------------------------------------------------------- security
+def test_exposure_experiment_small():
+    reports = run_exposure_experiment(sim_time=6.0, num_nodes=15, seed=3)
+    by_protocol = {r.protocol: r for r in reports}
+    assert by_protocol["gpsr"].doublets > 0
+    assert by_protocol["agfw"].doublets == 0
+    text = format_exposure(reports)
+    assert "(id, loc) doublets" in text
+
+
+# ---------------------------------------------------------------- overhead
+def test_aant_table_rows():
+    rows = aant_overhead_table(ring_sizes=(1, 2))
+    assert [r.ring_size for r in rows] == [1, 2]
+    assert rows[1].hello_bytes_with_certs > rows[0].hello_bytes_with_certs
+    assert "k" in format_aant_overhead(rows)
+
+
+def test_location_service_comparison_small():
+    reports = run_location_service_comparison(
+        num_nodes=25, num_lookups=4, senders_per_node=3, seed=19, warmup=10.0
+    )
+    services = [r.service for r in reports]
+    assert services == ["dlm", "als"]
+    als = reports[1]
+    assert als.crypto_ops > 0
+    text = format_location_service_comparison(reports)
+    assert "dlm" in text and "als" in text
+
+
+# ------------------------------------------------------------------ runner
+def test_runner_main_smoke(capsys):
+    from repro.experiments.runner import main
+
+    code = main([
+        "--sim-time", "4", "--nodes", "15", "--skip", "als", "exposure",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 1(a)" in out
+    assert "AANT hello overhead" in out

@@ -1,0 +1,123 @@
+"""Failure-injection tests: how each scheme copes when the path breaks.
+
+A relay is yanked out of the topology mid-flow (teleported out of range,
+mimicking a crash or sudden departure).  The recovery stories differ by
+design and the tests pin them down:
+
+* GPSR: the 802.11 unicast fails after its retry limit, the router
+  evicts the dead neighbor and re-routes.
+* AGFW with NL-ACK: the ACK never comes, the committed forwarder's
+  pseudonym is evicted from the ANT, and the packet re-routes.
+* AGFW-noACK: the loss is silent and permanent — exactly why Fig 1(a)
+  needs the ACK.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AgfwConfig
+from repro.geo.vec import Position
+from repro.routing.gpsr import GpsrConfig
+from tests.conftest import build_static_net
+
+# A diamond: 0 -> {1 (short path), 2 (detour)} -> 3.  Node 1 will die.
+DIAMOND = [
+    Position(0, 0),
+    Position(200, 0),     # 1: preferred relay (201 m from the destination)
+    Position(190, 140),   # 2: backup relay (242 m from the destination)
+    Position(400, 20),    # 3: destination (>250 m from the source)
+]
+FAR_AWAY = Position(10_000.0, 10_000.0)
+
+
+def _kill_node(net, index):
+    """Teleport a node out of range and silence its beacons."""
+    net.nodes[index].mobility.move_to(FAR_AWAY)
+
+
+def test_diamond_geometry_sane():
+    src, relay, backup, dest = DIAMOND
+    assert src.distance_to(dest) > 250  # multi-hop required
+    assert src.distance_to(relay) <= 250 and relay.distance_to(dest) <= 250
+    assert src.distance_to(backup) <= 250 and backup.distance_to(dest) <= 250
+    # The dead relay is the greedy favourite (closer to the destination).
+    assert relay.distance_to(dest) < backup.distance_to(dest)
+
+
+def test_gpsr_reroutes_after_relay_death():
+    net = build_static_net(DIAMOND, protocol="gpsr")
+    net.sim.run(until=3.0)  # tables warm; node 1 is everyone's favourite
+    _kill_node(net, 1)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert [d[0] for d in net.deliveries()] == [3]
+    # The dead relay was evicted from the source's table by the failure.
+    assert "node-1" not in net.nodes[0].router.table
+
+
+def test_agfw_ack_reroutes_after_relay_death():
+    net = build_static_net(
+        DIAMOND, protocol="agfw",
+        agfw_config=AgfwConfig(ack_timeout=0.02, max_retransmissions=2),
+    )
+    net.sim.run(until=3.0)
+    _kill_node(net, 1)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert [d[0] for d in net.deliveries()] == [3]
+    source = net.nodes[0].router
+    assert source.acks.retransmissions > 0  # it noticed the silence
+    assert source.acks.give_ups > 0  # then re-routed via node 2
+
+
+def test_agfw_noack_loses_packet_after_relay_death():
+    net = build_static_net(
+        DIAMOND, protocol="agfw", agfw_config=AgfwConfig(enable_ack=False)
+    )
+    net.sim.run(until=3.0)
+    _kill_node(net, 1)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert net.deliveries() == []  # silent, unrecovered loss
+
+
+def test_all_schemes_recover_via_beacon_timeout_eventually():
+    """Even without per-packet recovery, the dead relay ages out of the
+    tables and *later* packets take the living path."""
+    for protocol, config_kw in (
+        ("gpsr", {"gpsr_config": GpsrConfig()}),
+        ("agfw", {"agfw_config": AgfwConfig(enable_ack=False)}),
+    ):
+        net = build_static_net(DIAMOND, protocol=protocol, **config_kw)
+        net.sim.run(until=3.0)
+        _kill_node(net, 1)
+        # Wait beyond the neighbor timeout, then send.
+        net.sim.schedule(6.0, lambda net=net: net.nodes[0].router.send_data("node-3", 64))
+        net.sim.run(until=14.0)
+        assert [d[0] for d in net.deliveries()] == [3], protocol
+
+
+def test_destination_death_is_not_a_false_delivery():
+    """Killing the destination itself must never produce an app.recv."""
+    net = build_static_net(
+        DIAMOND, protocol="agfw",
+        agfw_config=AgfwConfig(ack_timeout=0.02, max_retransmissions=1),
+    )
+    net.sim.run(until=3.0)
+    _kill_node(net, 3)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert net.deliveries() == []
+
+
+def test_mass_failure_partitions_network():
+    net = build_static_net(DIAMOND, protocol="gpsr")
+    net.sim.run(until=3.0)
+    _kill_node(net, 1)
+    _kill_node(net, 2)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert net.deliveries() == []
+    drops = net.nodes[0].router.stats
+    assert drops.drops_deadend + drops.drops_mac >= 1

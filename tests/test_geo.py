@@ -1,0 +1,206 @@
+"""Tests for geometry: positions, regions, grids."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.grid import Grid
+from repro.geo.region import Region
+from repro.geo.vec import Position, bearing, centroid, distance, distance2, midpoint
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+positions = st.builds(Position, coords, coords)
+
+
+# ------------------------------------------------------------------ vectors
+def test_distance_simple():
+    assert distance(Position(0, 0), Position(3, 4)) == 5.0
+
+
+def test_distance2_avoids_sqrt():
+    assert distance2(Position(0, 0), Position(3, 4)) == 25.0
+
+
+def test_midpoint():
+    assert midpoint(Position(0, 0), Position(2, 4)) == Position(1, 2)
+
+
+def test_towards_interpolates():
+    p = Position(0, 0).towards(Position(10, 0), 0.25)
+    assert p == Position(2.5, 0)
+
+
+def test_translated():
+    assert Position(1, 1).translated(2, -1) == Position(3, 0)
+
+
+def test_bearing_cardinal_directions():
+    origin = Position(0, 0)
+    assert bearing(origin, Position(1, 0)) == pytest.approx(0.0)
+    assert bearing(origin, Position(0, 1)) == pytest.approx(math.pi / 2)
+    assert bearing(origin, Position(-1, 0)) == pytest.approx(math.pi)
+
+
+def test_quantized_snaps():
+    assert Position(12.3, 17.8).quantized(5.0) == Position(10.0, 20.0)
+
+
+def test_quantized_rejects_nonpositive_step():
+    with pytest.raises(ValueError):
+        Position(0, 0).quantized(0)
+
+
+def test_centroid():
+    c = centroid([Position(0, 0), Position(2, 0), Position(1, 3)])
+    assert c == Position(1.0, 1.0)
+
+
+def test_centroid_empty_raises():
+    with pytest.raises(ValueError):
+        centroid([])
+
+
+def test_position_iterable_and_tuple():
+    x, y = Position(3, 4)
+    assert (x, y) == (3, 4)
+    assert Position(3, 4).as_tuple() == (3, 4)
+
+
+@given(positions, positions)
+def test_distance_symmetry(a, b):
+    assert distance(a, b) == pytest.approx(distance(b, a))
+
+
+@given(positions, positions, positions)
+@settings(max_examples=50)
+def test_triangle_inequality(a, b, c):
+    assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+
+@given(positions, positions)
+def test_distance2_matches_distance(a, b):
+    assert math.sqrt(distance2(a, b)) == pytest.approx(distance(a, b), rel=1e-9)
+
+
+# ------------------------------------------------------------------- region
+def test_region_of_size():
+    region = Region.of_size(1500, 300)
+    assert region.width == 1500
+    assert region.height == 300
+    assert region.area == 450000
+
+
+def test_region_degenerate_rejected():
+    with pytest.raises(ValueError):
+        Region(0, 0, 0, 10)
+
+
+def test_region_contains_boundary():
+    region = Region.of_size(10, 10)
+    assert region.contains(Position(0, 0))
+    assert region.contains(Position(10, 10))
+    assert not region.contains(Position(10.1, 5))
+
+
+def test_region_clamp():
+    region = Region.of_size(10, 10)
+    assert region.clamp(Position(-5, 5)) == Position(0, 5)
+    assert region.clamp(Position(15, 20)) == Position(10, 10)
+    assert region.clamp(Position(3, 4)) == Position(3, 4)
+
+
+def test_region_center_and_diagonal():
+    region = Region.of_size(6, 8)
+    assert region.center == Position(3, 4)
+    assert region.diagonal() == 10.0
+
+
+def test_random_positions_inside():
+    region = Region.of_size(100, 50)
+    rng = random.Random(0)
+    for _ in range(200):
+        assert region.contains(region.random_position(rng))
+
+
+# --------------------------------------------------------------------- grid
+def test_grid_cell_geometry():
+    grid = Grid(Region.of_size(1500, 300), cols=5, rows=1)
+    assert grid.cell_width == 300
+    assert grid.cell_height == 300
+    assert grid.cell_count == 5
+
+
+def test_grid_with_cell_size_rounds_up():
+    grid = Grid.with_cell_size(Region.of_size(1500, 300), 400)
+    assert grid.cols == 4  # ceil(1500/400)
+    assert grid.rows == 1
+
+
+def test_grid_cell_of_corners():
+    grid = Grid(Region.of_size(100, 100), 10, 10)
+    assert grid.cell_of(Position(0, 0)) == (0, 0)
+    assert grid.cell_of(Position(99.9, 99.9)) == (9, 9)
+    assert grid.cell_of(Position(100, 100)) == (9, 9)  # boundary clamps
+
+
+def test_grid_cell_of_out_of_region_clamps():
+    grid = Grid(Region.of_size(100, 100), 10, 10)
+    assert grid.cell_of(Position(-50, 500)) == (0, 9)
+
+
+def test_center_of_cell_is_inside_cell():
+    grid = Grid(Region.of_size(100, 100), 4, 4)
+    center = grid.center_of((1, 2))
+    assert grid.cell_of(center) == (1, 2)
+
+
+def test_center_of_invalid_cell_raises():
+    grid = Grid(Region.of_size(100, 100), 4, 4)
+    with pytest.raises(ValueError):
+        grid.center_of((4, 0))
+
+
+def test_cells_enumeration():
+    grid = Grid(Region.of_size(10, 10), 3, 2)
+    assert len(list(grid.cells())) == 6
+
+
+def test_neighbors_of_interior_and_corner():
+    grid = Grid(Region.of_size(100, 100), 5, 5)
+    assert len(grid.neighbors_of((2, 2))) == 9
+    assert len(grid.neighbors_of((0, 0))) == 4
+
+
+def test_home_cells_deterministic_and_public():
+    grid = Grid(Region.of_size(1500, 300), 5, 1)
+    a = grid.home_cells("node-7", 2)
+    b = grid.home_cells("node-7", 2)
+    assert a == b
+    assert len(set(a)) == 2
+
+
+def test_home_cells_differ_across_identities():
+    grid = Grid(Region.of_size(1500, 300), 8, 2)
+    cells = {grid.home_cells(f"node-{i}")[0] for i in range(40)}
+    assert len(cells) > 4  # identities spread over the grid
+
+
+def test_home_cells_count_bounds():
+    grid = Grid(Region.of_size(10, 10), 2, 1)
+    with pytest.raises(ValueError):
+        grid.home_cells("x", 3)
+    with pytest.raises(ValueError):
+        grid.home_cells("x", 0)
+
+
+@given(st.floats(min_value=0, max_value=1500), st.floats(min_value=0, max_value=300))
+@settings(max_examples=100)
+def test_grid_cell_roundtrip_property(x, y):
+    grid = Grid(Region.of_size(1500, 300), 5, 1)
+    cell = grid.cell_of(Position(x, y))
+    assert grid.contains_cell(cell)

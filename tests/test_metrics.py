@@ -1,0 +1,133 @@
+"""Tests for metric collectors and summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collectors import DeliveryCollector, OverheadCollector
+from repro.metrics.stats import mean_confidence_interval, percentile, summarize
+from repro.sim.trace import Tracer
+
+
+# -------------------------------------------------------------------- stats
+def test_percentile_basics():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 4.0
+    assert percentile(data, 50) == pytest.approx(2.5)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 95) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.count == 5
+    assert s.mean == 3.0
+    assert s.minimum == 1.0
+    assert s.maximum == 5.0
+    assert s.p50 == 3.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summarize_single_value_zero_stdev():
+    s = summarize([2.0])
+    assert s.stdev == 0.0
+
+
+def test_confidence_interval():
+    mean, half = mean_confidence_interval([1.0, 2.0, 3.0])
+    assert mean == 2.0
+    assert half > 0
+    _mean, half_one = mean_confidence_interval([5.0])
+    assert half_one == 0.0
+
+
+# ----------------------------------------------------------------- delivery
+def test_delivery_collector_matches_send_recv():
+    tracer = Tracer()
+    collector = DeliveryCollector(tracer)
+    tracer.emit(1.0, "app.send", node=0, packet_uid=1)
+    tracer.emit(1.5, "app.recv", node=4, packet_uid=1)
+    tracer.emit(2.0, "app.send", node=0, packet_uid=2)  # never delivered
+    assert collector.sent == 2
+    assert collector.delivered == 1
+    assert collector.delivery_fraction == 0.5
+    assert collector.mean_latency == pytest.approx(0.5)
+
+
+def test_delivery_collector_duplicate_recv():
+    tracer = Tracer()
+    collector = DeliveryCollector(tracer)
+    tracer.emit(1.0, "app.send", node=0, packet_uid=1)
+    tracer.emit(1.5, "app.recv", node=4, packet_uid=1)
+    tracer.emit(1.6, "app.recv", node=4, packet_uid=1)
+    assert collector.delivered == 1
+    assert collector.duplicate_recv == 1
+
+
+def test_delivery_collector_unmatched_recv():
+    tracer = Tracer()
+    collector = DeliveryCollector(tracer)
+    tracer.emit(1.0, "app.recv", node=4, packet_uid=99)
+    assert collector.unmatched_recv == 1
+    assert collector.delivery_fraction == 0.0
+
+
+def test_delivery_collector_empty():
+    collector = DeliveryCollector(Tracer())
+    assert collector.delivery_fraction == 0.0
+    assert collector.mean_latency == 0.0
+    assert collector.latency_summary() is None
+
+
+def test_delivery_collector_works_without_retention():
+    tracer = Tracer(keep=False)
+    collector = DeliveryCollector(tracer)
+    tracer.emit(1.0, "app.send", node=0, packet_uid=1)
+    tracer.emit(1.2, "app.recv", node=1, packet_uid=1)
+    assert collector.delivered == 1
+    assert len(tracer) == 0
+
+
+# ----------------------------------------------------------------- overhead
+class _FakePacket:
+    KIND = "fake"
+
+    def __init__(self, size):
+        self._size = size
+        self.kind = "fake"
+
+    def size_bytes(self):
+        return self._size
+
+
+def test_overhead_collector_accounts_by_kind():
+    tracer = Tracer()
+    collector = OverheadCollector(tracer)
+    tracer.emit(0.0, "phy.tx", node=0, frame_kind="data", packet_obj=_FakePacket(100))
+    tracer.emit(0.0, "phy.tx", node=0, frame_kind="data", packet_obj=_FakePacket(50))
+    tracer.emit(0.0, "phy.tx", node=0, frame_kind="rts", packet_obj=None)
+    assert collector.total_frames == 3
+    assert collector.control_frames == 1
+    assert collector.frames_of("fake") == 2
+    assert collector.bytes_of("fake") == 150
+    assert collector.total_payload_bytes == 150
+
+
+def test_overhead_collector_unknown_kind_zero():
+    collector = OverheadCollector(Tracer())
+    assert collector.frames_of("nope") == 0
+    assert collector.bytes_of("nope") == 0

@@ -1,0 +1,92 @@
+"""Tests for the plain (GPSR) neighbor table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.vec import Position
+from repro.net.addresses import mac_for_node
+from repro.routing.neighbor_table import NeighborTable
+
+
+def _table(timeout=4.5):
+    return NeighborTable(timeout)
+
+
+def test_update_and_get():
+    table = _table()
+    table.update("n1", mac_for_node(1), Position(10, 0), now=0.0)
+    entry = table.get("n1")
+    assert entry is not None
+    assert entry.position == Position(10, 0)
+    assert entry.mac == mac_for_node(1)
+
+
+def test_update_refreshes_in_place():
+    table = _table()
+    table.update("n1", mac_for_node(1), Position(10, 0), now=0.0)
+    table.update("n1", mac_for_node(1), Position(20, 0), now=1.0)
+    assert len(table) == 1
+    assert table.get("n1").position == Position(20, 0)
+
+
+def test_purge_drops_expired():
+    table = _table(timeout=2.0)
+    table.update("old", mac_for_node(1), Position(0, 0), now=0.0)
+    table.update("new", mac_for_node(2), Position(0, 0), now=3.0)
+    assert table.purge(now=3.0) == 1
+    assert "old" not in table
+    assert "new" in table
+
+
+def test_entries_filters_by_age():
+    table = _table(timeout=2.0)
+    table.update("old", mac_for_node(1), Position(0, 0), now=0.0)
+    table.update("new", mac_for_node(2), Position(0, 0), now=3.0)
+    assert len(table.entries()) == 2  # unfiltered
+    assert [e.identity for e in table.entries(now=3.0)] == ["new"]
+
+
+def test_remove():
+    table = _table()
+    table.update("n1", mac_for_node(1), Position(0, 0), now=0.0)
+    table.remove("n1")
+    assert "n1" not in table
+    table.remove("n1")  # idempotent
+
+
+def test_best_towards_picks_closest():
+    table = _table()
+    table.update("near", mac_for_node(1), Position(100, 0), now=0.0)
+    table.update("far", mac_for_node(2), Position(50, 0), now=0.0)
+    best = table.best_towards(Position(300, 0), Position(0, 0), now=0.0)
+    assert best.identity == "near"
+
+
+def test_best_towards_requires_strict_progress():
+    """A neighbor no closer than us is not a greedy next hop — that is the
+    local-maximum condition."""
+    table = _table()
+    table.update("behind", mac_for_node(1), Position(-50, 0), now=0.0)
+    assert table.best_towards(Position(300, 0), Position(0, 0), now=0.0) is None
+
+
+def test_best_towards_ignores_expired():
+    table = _table(timeout=1.0)
+    table.update("stale", mac_for_node(1), Position(100, 0), now=0.0)
+    assert table.best_towards(Position(300, 0), Position(0, 0), now=5.0) is None
+
+
+def test_best_towards_empty_table():
+    assert _table().best_towards(Position(1, 1), Position(0, 0), now=0.0) is None
+
+
+def test_timeout_must_be_positive():
+    with pytest.raises(ValueError):
+        NeighborTable(0.0)
+
+
+def test_entry_age():
+    table = _table()
+    table.update("n", mac_for_node(1), Position(0, 0), now=2.0)
+    assert table.get("n").age(5.0) == pytest.approx(3.0)

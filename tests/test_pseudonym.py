@@ -1,0 +1,101 @@
+"""Tests for pseudonym generation and the two-pseudonym memory."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pseudonym import (
+    LAST_ATTEMPT,
+    PSEUDONYM_BYTES,
+    PseudonymManager,
+    derive_pseudonym,
+)
+
+
+def test_pseudonym_width_matches_mac_address():
+    """Paper Sec 5: 'the size of pseudonym is equal to that of a typical
+    MAC address' — 6 bytes."""
+    assert PSEUDONYM_BYTES == 6
+    assert len(derive_pseudonym(b"pr", "node-1")) == 6
+
+
+def test_derive_deterministic():
+    assert derive_pseudonym(b"pr", "id") == derive_pseudonym(b"pr", "id")
+
+
+def test_derive_varies_with_pr_and_identity():
+    assert derive_pseudonym(b"pr1", "id") != derive_pseudonym(b"pr2", "id")
+    assert derive_pseudonym(b"pr", "id1") != derive_pseudonym(b"pr", "id2")
+
+
+def test_zero_pseudonym_reserved():
+    assert LAST_ATTEMPT == b"\x00" * 6
+
+
+def test_manager_mints_fresh_each_time():
+    manager = PseudonymManager("node-1", random.Random(0))
+    names = {manager.new_pseudonym() for _ in range(50)}
+    assert len(names) == 50
+
+
+def test_manager_owns_two_latest_only():
+    """Paper: 'it does not need to memorize too many but two latest ones'."""
+    manager = PseudonymManager("node-1", random.Random(0), memory=2)
+    first = manager.new_pseudonym()
+    second = manager.new_pseudonym()
+    assert manager.owns(first) and manager.owns(second)
+    third = manager.new_pseudonym()
+    assert not manager.owns(first)
+    assert manager.owns(second) and manager.owns(third)
+
+
+def test_manager_never_owns_last_attempt():
+    manager = PseudonymManager("node-1", random.Random(0))
+    assert not manager.owns(LAST_ATTEMPT)
+
+
+def test_manager_current_and_recent():
+    manager = PseudonymManager("node-1", random.Random(0), memory=3)
+    assert manager.current is None
+    a = manager.new_pseudonym()
+    b = manager.new_pseudonym()
+    assert manager.current == b
+    assert manager.recent == (a, b)
+
+
+def test_manager_memory_configurable():
+    manager = PseudonymManager("node-1", random.Random(0), memory=1)
+    a = manager.new_pseudonym()
+    b = manager.new_pseudonym()
+    assert not manager.owns(a)
+    assert manager.owns(b)
+
+
+def test_manager_memory_must_be_positive():
+    with pytest.raises(ValueError):
+        PseudonymManager("x", random.Random(0), memory=0)
+
+
+def test_managers_with_different_seeds_diverge():
+    a = PseudonymManager("node-1", random.Random(1)).new_pseudonym()
+    b = PseudonymManager("node-1", random.Random(2)).new_pseudonym()
+    assert a != b
+
+
+def test_pseudonyms_unlinkable_to_identity_without_pr():
+    """Two pseudonyms from the same node share no obvious structure: the
+    unlinkability ANT anonymity rests on (statistical smoke test)."""
+    manager = PseudonymManager("node-1", random.Random(3))
+    samples = [manager.new_pseudonym() for _ in range(200)]
+    first_bytes = {s[0] for s in samples}
+    assert len(first_bytes) > 100  # near-uniform first byte
+
+
+@given(st.binary(min_size=1, max_size=32), st.text(min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_derive_never_returns_reserved(pr, identity):
+    assert derive_pseudonym(pr, identity) != LAST_ATTEMPT

@@ -1,0 +1,126 @@
+"""Integration tests: full scenarios under every protocol.
+
+These run short versions of the paper's simulation model and assert the
+qualitative properties the evaluation section reports.  They are the
+slowest tests in the suite (seconds each).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig, run_scenario
+
+
+def _short(protocol, **kwargs):
+    defaults = dict(
+        protocol=protocol,
+        num_nodes=30,
+        sim_time=10.0,
+        traffic_start=(1.0, 3.0),
+        num_flows=10,
+        num_senders=8,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(protocol="flooding")
+    with pytest.raises(ValueError):
+        ScenarioConfig(num_nodes=1)
+    with pytest.raises(ValueError):
+        ScenarioConfig(sim_time=0)
+
+
+@pytest.mark.parametrize("protocol", ["gpsr", "agfw", "agfw-noack"])
+def test_scenario_delivers_majority(protocol):
+    result = run_scenario(_short(protocol))
+    assert result.sent > 0
+    assert result.delivery_fraction > 0.6
+    assert result.mean_latency > 0
+
+
+def test_scenario_deterministic_from_seed():
+    a = run_scenario(_short("agfw"))
+    b = run_scenario(_short("agfw"))
+    assert a.sent == b.sent
+    assert a.delivered == b.delivered
+    assert a.mean_latency == pytest.approx(b.mean_latency)
+
+
+def test_scenario_seeds_differ():
+    a = run_scenario(_short("agfw", seed=5))
+    b = run_scenario(_short("agfw", seed=6))
+    assert (a.sent, a.delivered, a.frames_on_air) != (b.sent, b.delivered, b.frames_on_air)
+
+
+def test_agfw_ack_recovers_more_than_noack():
+    ack = run_scenario(_short("agfw", num_nodes=40, sim_time=15.0))
+    noack = run_scenario(_short("agfw-noack", num_nodes=40, sim_time=15.0))
+    assert ack.delivery_fraction >= noack.delivery_fraction
+
+
+def test_static_scenario_supported():
+    result = run_scenario(_short("gpsr", static=True))
+    assert result.delivery_fraction > 0.5
+
+
+def test_router_totals_aggregate():
+    result = run_scenario(_short("agfw"))
+    assert result.router_totals.originated == result.sent
+    assert result.router_totals.beacons_sent > 0
+    assert result.router_totals.forwarded >= 0
+
+
+def test_sniffer_scenario_wiring():
+    scenario = Scenario(_short("gpsr", with_sniffer=True, sim_time=5.0))
+    scenario.run()
+    assert scenario.sniffer is not None
+    assert len(scenario.sniffer) > 0
+
+
+def test_agfw_overrides_applied():
+    scenario = Scenario(
+        _short("agfw", agfw_overrides={"next_hop_strategy": "best_position"})
+    )
+    router = scenario.nodes[0].router
+    from repro.core.freshness import best_position
+
+    assert router.strategy is best_position
+
+
+def test_aant_scenario_enables_authenticator():
+    scenario = Scenario(_short("agfw", aant_ring_size=3, sim_time=5.0))
+    assert all(n.router.authenticator is not None for n in scenario.nodes)
+    result = scenario.run()
+    assert result.delivery_fraction > 0.3  # verify delays cost a little
+
+
+def test_real_crypto_scenario_end_to_end():
+    """Everything real: RSA keygen, certificates, trapdoors."""
+    result = run_scenario(
+        _short(
+            "agfw",
+            num_nodes=20,
+            sim_time=8.0,
+            num_flows=4,
+            num_senders=4,
+            real_crypto=True,
+        )
+    )
+    # 20 random nodes in 1500x300 m is still sparse: expect most, not all.
+    assert result.delivery_fraction > 0.5
+
+
+def test_wallclock_recorded():
+    result = run_scenario(_short("gpsr", sim_time=3.0))
+    assert result.wallclock_seconds > 0
+
+
+def test_result_row_formatting():
+    result = run_scenario(_short("gpsr", sim_time=3.0))
+    row = result.row()
+    assert "gpsr" in row and "pdf=" in row

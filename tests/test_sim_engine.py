@@ -1,0 +1,205 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator, call_later
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_single_event_fires_at_scheduled_time(sim):
+    fired = []
+    sim.schedule(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    order = []
+    for tag in "abcde":
+        sim.schedule(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_priority_breaks_time_ties(sim):
+    order = []
+    sim.schedule(1.0, lambda: order.append("late"), priority=5)
+    sim.schedule(1.0, lambda: order.append("early"), priority=-5)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_zero_delay_fires_after_current_instant_events(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, lambda: order.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_accepts_none(sim):
+    sim.cancel(None)  # must not raise
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_at_horizon(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(2))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+
+
+def test_run_until_is_inclusive(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == [1]
+
+
+def test_resume_after_until(sim):
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    sim.run(until=20.0)
+    assert fired == [1]
+
+
+def test_empty_run_advances_to_until(sim):
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_max_events_bound(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_halts_loop(sim):
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, lambda: fired.append("after"))
+    sim.run()
+    assert fired == ["stop"]
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def outer():
+        sim.schedule(1.0, lambda: fired.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["inner"]
+    assert sim.now == 2.0
+
+
+def test_reentrant_run_rejected(sim):
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_processed_events_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_pending_events_excludes_cancelled(sim):
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert keep.pending
+    assert not drop.pending
+
+
+def test_consumed_event_cannot_be_cancelled_late(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    handle.cancel()  # no-op: already consumed
+    assert fired == [1]
+
+
+def test_call_later_binds_arguments(sim):
+    seen = []
+    call_later(sim, 1.0, lambda a, b: seen.append((a, b)), 1, 2)
+    sim.run()
+    assert seen == [(1, 2)]
+
+
+def test_many_events_heap_stress(sim):
+    import random as _random
+
+    rnd = _random.Random(0)
+    times = [rnd.uniform(0, 100) for _ in range(2000)]
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run()
+    assert fired == sorted(times)

@@ -1,0 +1,89 @@
+"""Tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import Tracer
+
+
+def test_emit_and_len(tracer):
+    tracer.emit(1.0, "a.b", node=1, x=1)
+    tracer.emit(2.0, "a.c", node=2)
+    assert len(tracer) == 2
+
+
+def test_filter_by_prefix(tracer):
+    tracer.emit(1.0, "phy.tx", node=0)
+    tracer.emit(1.0, "phy.collision", node=0)
+    tracer.emit(1.0, "mac.tx", node=0)
+    assert tracer.count("phy") == 2
+    assert tracer.count("phy.tx") == 1
+    assert tracer.count("mac") == 1
+
+
+def test_records_carry_payload(tracer):
+    tracer.emit(3.5, "app.send", node=4, packet_uid=99)
+    record = next(tracer.filter("app.send"))
+    assert record.time == 3.5
+    assert record.node == 4
+    assert record.data["packet_uid"] == 99
+
+
+def test_subscriber_receives_matching_records(tracer):
+    seen = []
+    tracer.subscribe("app.", seen.append)
+    tracer.emit(1.0, "app.send", node=0)
+    tracer.emit(1.0, "mac.tx", node=0)
+    assert len(seen) == 1
+    assert seen[0].category == "app.send"
+
+
+def test_multiple_subscribers_all_fire(tracer):
+    a, b = [], []
+    tracer.subscribe("x", a.append)
+    tracer.subscribe("x", b.append)
+    tracer.emit(0.0, "x.y")
+    assert len(a) == len(b) == 1
+
+
+def test_keep_false_skips_retention_but_notifies():
+    tracer = Tracer(keep=False)
+    seen = []
+    tracer.subscribe("", seen.append)
+    tracer.emit(0.0, "anything")
+    assert len(tracer) == 0
+    assert len(seen) == 1
+
+
+def test_mute_drops_category(tracer):
+    tracer.mute("noisy")
+    tracer.emit(0.0, "noisy")
+    tracer.emit(0.0, "quiet")
+    assert len(tracer) == 1
+    tracer.unmute("noisy")
+    tracer.emit(0.0, "noisy")
+    assert len(tracer) == 2
+
+
+def test_mute_is_exact_category_not_prefix(tracer):
+    tracer.mute("a")
+    tracer.emit(0.0, "a.b")  # not muted: exact-match only
+    assert len(tracer) == 1
+
+
+def test_categories_histogram(tracer):
+    tracer.emit(0.0, "a")
+    tracer.emit(0.0, "a")
+    tracer.emit(0.0, "b")
+    assert tracer.categories() == {"a": 2, "b": 1}
+
+
+def test_clear(tracer):
+    tracer.emit(0.0, "a")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_iteration_yields_records_in_order(tracer):
+    tracer.emit(1.0, "a")
+    tracer.emit(2.0, "b")
+    assert [r.category for r in tracer] == ["a", "b"]

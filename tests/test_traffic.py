@@ -1,0 +1,150 @@
+"""Tests for traffic sources, workloads, and the oracle location service."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geo.vec import Position
+from repro.location.service import OracleLocationService
+from repro.traffic.cbr import CbrFlow, CbrSource
+from repro.traffic.workload import make_flows, make_paper_flows
+from tests.conftest import build_static_net, line_positions
+
+
+# -------------------------------------------------------------------- flows
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        CbrFlow(0, "d", rate_pps=0)
+    with pytest.raises(ValueError):
+        CbrFlow(0, "d", payload_bytes=0)
+    with pytest.raises(ValueError):
+        CbrFlow(0, "d", start_time=5.0, stop_time=1.0)
+
+
+def test_cbr_source_rate():
+    net = build_static_net(line_positions(2), protocol="gpsr")
+    flow = CbrFlow(0, "node-1", rate_pps=4.0, start_time=1.0, stop_time=6.0)
+    source = CbrSource(net.sim, net.nodes[0], flow)
+    source.start()
+    net.sim.run(until=10.0)
+    # ~4 pps over 5 s window (jittered start): 18..21 packets.
+    assert 17 <= source.packets_sent <= 21
+
+
+def test_cbr_stops_at_stop_time():
+    net = build_static_net(line_positions(2), protocol="gpsr")
+    flow = CbrFlow(0, "node-1", rate_pps=10.0, start_time=1.0, stop_time=2.0)
+    source = CbrSource(net.sim, net.nodes[0], flow)
+    source.start()
+    net.sim.run(until=10.0)
+    sent_after = source.packets_sent
+    assert sent_after <= 11
+
+
+def test_cbr_source_node_mismatch():
+    net = build_static_net(line_positions(2), protocol="gpsr")
+    flow = CbrFlow(1, "node-0")
+    with pytest.raises(ValueError):
+        CbrSource(net.sim, net.nodes[0], flow)
+
+
+def test_cbr_packets_actually_delivered():
+    net = build_static_net(line_positions(3), protocol="gpsr")
+    flow = CbrFlow(0, "node-2", rate_pps=2.0, start_time=2.0, stop_time=5.0)
+    source = CbrSource(net.sim, net.nodes[0], flow)
+    source.start()
+    net.sim.run(until=8.0)
+    assert len(net.deliveries()) == source.packets_sent
+
+
+# ----------------------------------------------------------------- workload
+def test_paper_flow_counts():
+    rng = random.Random(0)
+    ids = list(range(50))
+    identities = [f"node-{i}" for i in ids]
+    flows = make_paper_flows(ids, identities, rng)
+    assert len(flows) == 30
+    assert len({f.src_node_id for f in flows}) == 20
+    assert all(f.rate_pps == 4.0 and f.payload_bytes == 64 for f in flows)
+
+
+def test_no_self_flows():
+    rng = random.Random(1)
+    ids = list(range(10))
+    identities = [f"node-{i}" for i in ids]
+    flows = make_flows(ids, identities, num_flows=40, num_senders=5, rng=rng)
+    for flow in flows:
+        assert flow.dest_identity != f"node-{flow.src_node_id}"
+
+
+def test_start_window_respected():
+    rng = random.Random(2)
+    ids = list(range(10))
+    identities = [f"node-{i}" for i in ids]
+    flows = make_flows(ids, identities, 20, 5, rng, start_window=(3.0, 7.0))
+    assert all(3.0 <= f.start_time <= 7.0 for f in flows)
+
+
+def test_workload_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        make_flows([0, 1], ["a", "b"], 5, 3, rng)  # more senders than nodes
+    with pytest.raises(ValueError):
+        make_flows([0], ["a"], 1, 1, rng)  # one node: no possible dest
+    with pytest.raises(ValueError):
+        make_flows([0, 1], ["a", "b"], 0, 1, rng)
+
+
+def test_workload_deterministic():
+    ids = list(range(20))
+    identities = [f"node-{i}" for i in ids]
+    a = make_flows(ids, identities, 10, 5, random.Random(7))
+    b = make_flows(ids, identities, 10, 5, random.Random(7))
+    assert a == b
+
+
+# ------------------------------------------------------------------- oracle
+def test_oracle_lookup_exact():
+    net = build_static_net(line_positions(3), protocol="gpsr")
+    results = []
+    net.oracle.lookup(net.nodes[0], "node-2", results.append)
+    assert results == [Position(400, 0)]
+
+
+def test_oracle_unknown_identity():
+    net = build_static_net(line_positions(2), protocol="gpsr")
+    results = []
+    net.oracle.lookup(net.nodes[0], "nobody", results.append)
+    assert results == [None]
+
+
+def test_oracle_staleness():
+    from repro.sim.engine import Simulator
+    from repro.net.medium import RadioMedium
+    from repro.net.mobility import RandomWaypointMobility
+    from repro.net.node import Node
+    from repro.geo.region import Region
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator()
+    medium = RadioMedium(sim)
+    region = Region.of_size(1000, 1000)
+    rngs = RngRegistry(1)
+    mobility = RandomWaypointMobility(sim, region, random.Random(1), pause_time=0.0)
+    node = Node(sim, 0, medium, mobility, rngs)
+    oracle = OracleLocationService(sim, staleness=10.0)
+    oracle.register(node)
+    sim.run(until=60.0)
+    fresh, stale = [], []
+    OracleLocationService(sim).register(node)
+    oracle.lookup(node, "node-0", stale.append)
+    assert stale[0] == mobility.position_at(50.0)  # 10 s behind
+
+
+def test_oracle_rejects_negative_staleness():
+    from repro.sim.engine import Simulator
+
+    with pytest.raises(ValueError):
+        OracleLocationService(Simulator(), staleness=-1.0)
