@@ -1,0 +1,39 @@
+"""Project-specific static analysis for the ANT/AGFW reproduction.
+
+Two paper-derived rule families run over the AST of every module:
+
+* **DET** — determinism: every run must be bit-reproducible from one
+  master seed through :class:`repro.sim.rng.RngRegistry` (global
+  ``random`` use, unseeded ``Random()``, wall-clock reads, float
+  sim-time equality, set-iteration ordering).
+* **ANON** — anonymity invariants: no real node identity or MAC address
+  may reach a wire-visible :class:`repro.net.packet.Packet` field
+  (Zhou & Yow Sec. 3); identities travel only as pseudonyms, trapdoors,
+  or encrypted indexes.
+
+Run ``python -m repro.analysis [paths]`` (or ``repro-lint`` after an
+editable install); suppress a deliberate violation with
+``# repro: noqa[RULE-ID]`` on the offending line.  The package lints
+itself — it is part of the default ``src`` target.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    register,
+    registry,
+)
+from repro.analysis.engine import AnalysisResult, analyze_paths
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "analyze_paths",
+    "register",
+    "registry",
+]

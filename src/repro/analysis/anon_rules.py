@@ -1,0 +1,395 @@
+"""ANON — anonymity-invariant rules.
+
+The paper's core claim (Zhou & Yow, Sec. 3) is that ANT/AGFW keep real
+node identities and MAC addresses off the air: packets name the next hop
+by *pseudonym*, the destination by *trapdoor*, and every frame goes to
+the broadcast address.  Related work (ANAP's spoofing analysis) shows
+how easily an "anonymous" protocol leaks identity through an
+implementation side channel rather than the design.  These rules
+mechanize the invariant with a lightweight intra-function taint walk:
+
+==========  ===========================================================
+ANON-001    a node-identity expression (``node.identity``, ``*_identity``
+            attributes, certificate ``subject``, ``node_id``) reaches a
+            wire-visible ``Packet`` constructor argument or field
+ANON-002    a link-layer address (``node.address``, ``mac_for_node``,
+            ``MacAddress(...)``) reaches a ``Packet`` field — addresses
+            belong to MAC frames, and AGFW frames are broadcast-only
+==========  ===========================================================
+
+Taint is *cleansed* by the sanctioned transforms: trapdoor sealing,
+ALS encrypted-index construction (``make_index``), hashing, signing and
+encryption — the paths the paper itself routes identities through.
+``crypto/`` and the trapdoor factory are allowlisted wholesale: their
+whole job is handling identities before they are sealed.
+
+Deliberate violations — the GPSR/DLM *baselines* leak identities by
+design, that is the comparison the paper draws — carry
+``# repro: noqa[ANON-001]`` annotations that double as a catalog of
+every cleartext identity field in the codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+__all__ = ["IdentityIntoPacket", "MacAddressIntoPacket", "TaintWalker"]
+
+#: Call targets (terminal names) whose *result* no longer carries taint:
+#: the paper-sanctioned ways an identity may be transformed before it is
+#: put on the wire.
+SANITIZERS = frozenset(
+    {
+        "seal",            # TrapdoorFactory.seal -> trapdoor ciphertext
+        "make_index",      # ALS encrypted index h(A|B) / E_B(A|B)
+        "sha256",
+        "sha256_hex",
+        "fingerprint",
+        "derive_seed",
+        "home_cells",      # grid cells derived from an identity via SHA-256
+        "center_of",
+        "encrypt",
+        "encrypt_hybrid",
+        "sign",
+        "sign_hello",
+        "ring_sign",
+        "hash",
+        "ref_bytes",
+        "len",
+    }
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class TaintWalker:
+    """Per-function taint propagation for one seed family.
+
+    Flow-insensitive within a function body: a variable assigned a
+    tainted expression anywhere taints later uses.  That overshoots
+    rarely (reassignment to a clean value) and never under-shoots, which
+    is the right trade-off for an invariant checker.
+    """
+
+    def __init__(
+        self,
+        module: ModuleContext,
+        project: ProjectContext,
+        seed_attr_exact: Sequence[str],
+        seed_attr_suffixes: Sequence[str],
+        seed_param_names: Sequence[str],
+        seed_calls: Sequence[str] = (),
+    ) -> None:
+        self.module = module
+        self.project = project
+        self.seed_attr_exact = frozenset(seed_attr_exact)
+        self.seed_attr_suffixes = tuple(seed_attr_suffixes)
+        self.seed_param_names = frozenset(seed_param_names)
+        self.seed_calls = frozenset(seed_calls)
+        self.tainted_vars: Set[str] = set()
+
+    # ----------------------------------------------------------- seeding
+    def _name_matches(self, name: str) -> bool:
+        lowered = name.lower()
+        return lowered in self.seed_attr_exact or lowered.endswith(
+            tuple(self.seed_attr_suffixes)
+        )
+
+    def seed_params(self, func: ast.AST) -> None:
+        """Parameters whose *name* marks them as identity-bearing."""
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        args = func.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ):
+            if arg.arg in self.seed_param_names or self._name_matches(arg.arg):
+                self.tainted_vars.add(arg.arg)
+
+    def propagate(self, nodes: Sequence[ast.AST]) -> None:
+        """Fixpoint over simple assignments among the scope's own nodes."""
+        assignments: List[Tuple[str, ast.AST]] = []
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = self._assignable_name(target)
+                    if name is not None:
+                        assignments.append((name, node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                name = self._assignable_name(node.target)
+                if name is not None:
+                    assignments.append((name, node.value))
+        changed = True
+        while changed:
+            changed = False
+            for name, value in assignments:
+                if name not in self.tainted_vars and self.is_tainted(value):
+                    self.tainted_vars.add(name)
+                    changed = True
+
+    @staticmethod
+    def _assignable_name(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+    # ------------------------------------------------------------ queries
+    _LINKED_EXACT = frozenset({"position", "location", "loc"})
+    _LINKED_SUFFIXES = ("_position", "_location", "_loc")
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        """Does the expression (transitively) carry an identity?"""
+        if isinstance(node, ast.Attribute):
+            if self._name_matches(node.attr):
+                return True
+            # Attribute access on a tainted record stays tainted only for
+            # the identity-*linked* fields: a position keyed by identity
+            # is exactly the (identity, location) doublet the paper hides;
+            # a timestamp on the same record is not.
+            lowered = node.attr.lower()
+            if lowered in self._LINKED_EXACT or lowered.endswith(self._LINKED_SUFFIXES):
+                return self.is_tainted(node.value)
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted_vars or self._name_matches(node.id)
+        if isinstance(node, ast.Call):
+            func_name = _terminal_name(node.func)
+            if func_name in SANITIZERS:
+                return False
+            if func_name in self.seed_calls:
+                return True
+            parts: List[ast.AST] = [*node.args, *[kw.value for kw in node.keywords]]
+            if isinstance(node.func, ast.Attribute):
+                # Method on a tainted object: ``identity.encode()``.
+                parts.append(node.func.value)
+            return any(self.is_tainted(part) for part in parts)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(v) for v in node.values)
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.JoinedStr):
+            return any(
+                self.is_tainted(value.value)
+                for value in node.values
+                if isinstance(value, ast.FormattedValue)
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self.is_tainted(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(elt) for elt in node.elts)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.is_tainted(node.elt) or any(
+                self.is_tainted(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        return False
+
+
+def _split_scope(scope: ast.AST) -> Tuple[List[ast.AST], List[ast.AST]]:
+    """Partition a scope's subtree into (own nodes, nested function defs).
+
+    Descent stops at nested ``def``s — they form their own taint scope —
+    but continues through every other construct (including class bodies,
+    so dataclass field defaults are checked at module level).
+    """
+    own: List[ast.AST] = []
+    nested: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.append(child)
+            else:
+                own.append(child)
+                visit(child)
+
+    visit(scope)
+    return own, nested
+
+
+class _PacketTaintRule(Rule):
+    """Shared sink detection: taint reaching packet constructors/fields."""
+
+    #: overridden by concrete rules
+    seed_attr_exact: Tuple[str, ...] = ()
+    seed_attr_suffixes: Tuple[str, ...] = ()
+    seed_param_names: Tuple[str, ...] = ()
+    seed_calls: Tuple[str, ...] = ()
+    what: str = "identity"
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        # Walk each scope (module, then each function) with its own taint
+        # state; nested functions inherit the enclosing scope's taint —
+        # closures like AGFW's deferred ``_launch()`` read outer locals.
+        yield from self._check_scope(module, project, module.tree, inherited=frozenset())
+
+    def _check_scope(
+        self,
+        module: ModuleContext,
+        project: ProjectContext,
+        scope: ast.AST,
+        inherited: frozenset,
+    ) -> Iterator[Finding]:
+        walker = TaintWalker(
+            module,
+            project,
+            self.seed_attr_exact,
+            self.seed_attr_suffixes,
+            self.seed_param_names,
+            self.seed_calls,
+        )
+        walker.tainted_vars |= inherited
+        walker.seed_params(scope)
+        own, nested = _split_scope(scope)
+        walker.propagate(own)
+        packet_vars = self._packet_vars(module, project, own)
+
+        for node in own:
+            yield from self._check_node(module, project, node, walker, packet_vars)
+
+        for child in nested:
+            yield from self._check_scope(
+                module, project, child, inherited=frozenset(walker.tainted_vars)
+            )
+
+    def _packet_vars(
+        self, module: ModuleContext, project: ProjectContext, nodes: Sequence[ast.AST]
+    ) -> Set[str]:
+        """Local names bound to packet instances (``p = AgfwData(...)``)."""
+        names: Set[str] = set()
+        for node in nodes:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            callee = _terminal_name(node.value.func)
+            if callee is None or not project.is_packet_class(module, callee):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _check_node(
+        self,
+        module: ModuleContext,
+        project: ProjectContext,
+        node: ast.AST,
+        walker: TaintWalker,
+        packet_vars: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            callee = _terminal_name(node.func)
+            is_packet_ctor = callee is not None and project.is_packet_class(module, callee)
+            is_clone = callee in {"clone_for_forwarding", "replace"} and isinstance(
+                node.func, ast.Attribute
+            )
+            if is_packet_ctor or is_clone:
+                sink = callee if is_packet_ctor else "clone/replace"
+                for position, arg in enumerate(node.args):
+                    if walker.is_tainted(arg):
+                        yield self.finding(
+                            module,
+                            arg,
+                            f"node {self.what} flows into wire-visible "
+                            f"{sink}() positional arg {position}; use a "
+                            "pseudonym or seal it in a trapdoor",
+                        )
+                for keyword in node.keywords:
+                    if keyword.arg is not None and walker.is_tainted(keyword.value):
+                        yield self.finding(
+                            module,
+                            keyword.value,
+                            f"node {self.what} flows into wire-visible "
+                            f"{sink}(... {keyword.arg}=...); use a pseudonym "
+                            "or seal it in a trapdoor",
+                        )
+        elif isinstance(node, ast.Assign):
+            # ``packet.field = tainted`` on a known packet variable.
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in packet_vars
+                    and walker.is_tainted(node.value)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"node {self.what} assigned to packet field "
+                        f"'{target.value.id}.{target.attr}'; wire-visible "
+                        "headers must carry pseudonyms or trapdoors",
+                    )
+
+
+@register
+class IdentityIntoPacket(_PacketTaintRule):
+    """ANON-001: real node identity reaching a wire-visible packet field.
+
+    The ANT invariant: hellos carry ``<pseudonym, location, ts>``, data
+    carries ``<loc_d, pseudonym, trapdoor>`` — never ``node.identity``,
+    a certificate subject, or anything derived from them, except through
+    the sanctioned sealed/hashed forms.
+    """
+
+    id = "ANON-001"
+    name = "identity-into-packet"
+    rationale = (
+        "A real identity in a packet field deanonymizes the node to any "
+        "sniffer; the paper's design only ever sends pseudonyms, trapdoors, "
+        "and encrypted indexes."
+    )
+    exempt_paths = ("crypto/*", "core/trapdoor.py")
+
+    seed_attr_exact = ("identity", "node_id", "subject")
+    seed_attr_suffixes = ("_identity",)
+    seed_param_names = ("identity", "subject")
+    what = "identity"
+
+
+@register
+class MacAddressIntoPacket(_PacketTaintRule):
+    """ANON-002: link-layer address reaching a network-layer packet field.
+
+    AGFW sends every frame to the broadcast address precisely so that no
+    real MAC appears on the air; a MAC address inside a *packet* header
+    would undo that at the layer above.  Addresses belong to
+    :mod:`repro.net.mac.frames`, nowhere else.
+    """
+
+    id = "ANON-002"
+    name = "mac-address-into-packet"
+    rationale = (
+        "AGFW transmissions are MAC broadcasts so no station address is "
+        "wire-visible; a MacAddress in a packet field reintroduces the "
+        "identifier the pseudonym scheme removes."
+    )
+    exempt_paths = ("crypto/*", "net/mac/*", "net/addresses.py")
+
+    seed_attr_exact = ("address", "mac")
+    seed_attr_suffixes = ("_mac", "_address")
+    seed_param_names = ("address", "mac")
+    seed_calls = ("mac_for_node", "MacAddress")
+    what = "MAC address"

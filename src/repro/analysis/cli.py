@@ -1,0 +1,80 @@
+"""Command-line interface: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = parse or usage errors — so the
+CI step ``python -m repro.analysis src tests --format json`` gates merges
+on both rule families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Optional, Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.report import render_rule_catalog, write_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism (DET) and anonymity-invariant (ANON) "
+            "linter for the ANT/AGFW reproduction. Suppress a finding with "
+            "'# repro: noqa[RULE-ID]' on its line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run these rule ids or families (e.g. DET, ANON-001); repeatable",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids or families; repeatable",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, stream: Optional[IO[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = stream if stream is not None else sys.stdout
+
+    if args.list_rules:
+        out.write(render_rule_catalog() + "\n")
+        return 0
+
+    try:
+        result = analyze_paths(args.paths, select=args.select, ignore=args.ignore)
+    except Exception as exc:  # pragma: no cover - defensive: engine bug
+        out.write(f"repro-lint: internal error: {exc}\n")
+        return 2
+    write_report(result, args.format, out)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

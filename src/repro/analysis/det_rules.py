@@ -1,0 +1,413 @@
+"""DET — determinism rules.
+
+The reproduction's experiments (Fig. 1 sweeps, privacy-exposure audits)
+are only trustworthy if a run is bit-reproducible from one master seed.
+:class:`repro.sim.rng.RngRegistry` derives every stream from that seed;
+these rules flag the ways code escapes it:
+
+==========  ===========================================================
+DET-001     the process-global ``random`` stream (module-level draws,
+            or the bare module used as an rng object)
+DET-002     unseeded ``random.Random()`` construction outside
+            ``sim/rng.py``
+DET-003     wall-clock / OS-entropy sources (``time.time``,
+            ``datetime.now``, ``uuid4``, ``os.urandom``, ``secrets``)
+DET-004     float ``==``/``!=`` against sim-time expressions
+DET-005     iteration over a bare ``set`` where order can leak into
+            event scheduling
+==========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleContext, ProjectContext, Rule, register
+
+__all__ = [
+    "GlobalRandomStream",
+    "UnseededRandom",
+    "WallClockEntropy",
+    "FloatTimeEquality",
+    "SetIterationOrder",
+]
+
+#: ``random`` module functions that draw from (or reseed) the global stream.
+_GLOBAL_DRAWS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "lognormvariate",
+        "expovariate", "betavariate", "gammavariate", "paretovariate",
+        "weibullvariate", "vonmisesvariate", "triangular", "getrandbits",
+        "randbytes", "binomialvariate", "seed", "setstate", "getstate",
+    }
+)
+
+
+def _is_random_module_ref(module: ModuleContext, node: ast.AST) -> bool:
+    """Does ``node`` name the ``random`` module itself?"""
+    return (
+        isinstance(node, ast.Name)
+        and isinstance(node.ctx, ast.Load)
+        and module.resolves_to_module(node.id, "random")
+    )
+
+
+def _resolve_call_target(
+    module: ModuleContext, func: ast.AST
+) -> Optional[Tuple[str, str]]:
+    """Resolve a call's function to ``(module, name)`` when statically known.
+
+    Handles ``mod.attr(...)`` through ``import mod [as alias]`` and bare
+    ``name(...)`` through ``from mod import name [as alias]``.
+    """
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        target = module.import_aliases.get(func.value.id)
+        if target is not None:
+            return target, func.attr
+        origin = module.from_imports.get(func.value.id)
+        if origin is not None:
+            # ``from datetime import datetime; datetime.now()`` resolves to
+            # ("datetime.datetime", "now").
+            return f"{origin[0]}.{origin[1]}", func.attr
+        return None
+    if isinstance(func, ast.Name):
+        origin = module.from_imports.get(func.id)
+        if origin is not None:
+            return origin[0], origin[1]
+        return None
+    return None
+
+
+@register
+class GlobalRandomStream(Rule):
+    """DET-001: any use of the process-global ``random`` stream.
+
+    Draws from the module (``random.choice(...)``) are invisible to
+    :class:`~repro.sim.rng.RngRegistry`: a second caller anywhere in the
+    process perturbs the sequence and the run stops being reproducible.
+    Passing the bare module as an rng object (``rng or random``) is the
+    same bug in disguise.
+    """
+
+    id = "DET-001"
+    name = "global-random-stream"
+    rationale = (
+        "Draws from the process-global random stream bypass RngRegistry; "
+        "any other caller perturbs the sequence and breaks seed-reproducibility."
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Name):
+                continue
+            if not _is_random_module_ref(module, node):
+                # ``from random import shuffle`` style draws:
+                origin = module.from_imports.get(getattr(node, "id", ""))
+                if (
+                    origin is not None
+                    and origin[0] == "random"
+                    and origin[1] in _GLOBAL_DRAWS
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'{node.id}' (= random.{origin[1]}) draws from the "
+                        "process-global random stream; use an RngRegistry stream",
+                    )
+                continue
+            parent = module.parent_of(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                if parent.attr in _GLOBAL_DRAWS:
+                    yield self.finding(
+                        module,
+                        parent,
+                        f"random.{parent.attr}() draws from the process-global "
+                        "random stream; use an RngRegistry stream instead",
+                    )
+                # random.Random / random.SystemRandom etc. are judged by
+                # DET-002 / DET-003; plain attribute access is fine here.
+                continue
+            # The bare module escaping as a value: ``rng = rng or random``,
+            # ``f(random)``, ``self.rng = random`` ...
+            yield self.finding(
+                module,
+                node,
+                "the 'random' module used as an RNG object aliases the "
+                "process-global stream; pass an explicit random.Random",
+            )
+
+
+@register
+class UnseededRandom(Rule):
+    """DET-002: ``random.Random()`` with no seed outside ``sim/rng.py``.
+
+    An unseeded ``Random`` seeds itself from OS entropy — every run gets
+    a different stream.  All streams must be derived from the master
+    seed via :class:`~repro.sim.rng.RngRegistry` (which is the one place
+    allowed to construct ``random.Random``).
+    """
+
+    id = "DET-002"
+    name = "unseeded-random"
+    rationale = (
+        "random.Random() with no arguments seeds from OS entropy, so keygen, "
+        "ring picking, and backoff differ between runs with the same master seed."
+    )
+    exempt_paths = ("sim/rng.py",)
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            func = node.func
+            is_random_cls = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "Random"
+                and _is_random_module_ref(module, func.value)
+            )
+            if not is_random_cls and isinstance(func, ast.Name):
+                origin = module.from_imports.get(func.id)
+                is_random_cls = origin == ("random", "Random")
+            if is_random_cls:
+                yield self.finding(
+                    module,
+                    node,
+                    "unseeded random.Random() draws OS entropy; require an "
+                    "explicit rng or derive one via RngRegistry",
+                )
+
+
+#: ``(module, attr)`` call targets that read wall-clock time or OS entropy.
+_FORBIDDEN_CALLS = {
+    ("time", "time"): "time.time() reads the wall clock",
+    ("time", "time_ns"): "time.time_ns() reads the wall clock",
+    ("time", "localtime"): "time.localtime() reads the wall clock",
+    ("time", "ctime"): "time.ctime() reads the wall clock",
+    ("datetime.datetime", "now"): "datetime.now() reads the wall clock",
+    ("datetime.datetime", "utcnow"): "datetime.utcnow() reads the wall clock",
+    ("datetime.datetime", "today"): "datetime.today() reads the wall clock",
+    ("datetime.date", "today"): "date.today() reads the wall clock",
+    ("uuid", "uuid1"): "uuid1() mixes the wall clock and the MAC address",
+    ("uuid", "uuid4"): "uuid4() draws OS entropy",
+    ("os", "urandom"): "os.urandom() draws OS entropy",
+    ("random", "SystemRandom"): "random.SystemRandom draws OS entropy",
+}
+
+
+@register
+class WallClockEntropy(Rule):
+    """DET-003: wall-clock time or OS entropy inside simulation code.
+
+    Simulated time is ``sim.now``; freshness, pseudonym lifetimes and
+    certificate windows must be driven by it.  ``time.perf_counter`` is
+    deliberately *not* flagged: measuring how long a run took is fine,
+    feeding the measurement back into the simulation is what breaks
+    reproducibility (and that path goes through the flagged calls).
+    """
+
+    id = "DET-003"
+    name = "wall-clock-entropy"
+    rationale = (
+        "Wall-clock reads and OS entropy differ between runs; simulated time "
+        "must come from sim.now and randomness from RngRegistry streams."
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_call_target(module, node.func)
+            if target is None:
+                continue
+            reason = _FORBIDDEN_CALLS.get(target)
+            if reason is None and target[0] == "secrets":
+                reason = f"secrets.{target[1]}() draws OS entropy"
+            if reason is None and target == ("datetime", "now"):
+                # ``from datetime import datetime`` then ``datetime.now()``
+                # resolves above; this covers ``import datetime`` + alias.
+                reason = "datetime.now() reads the wall clock"
+            if reason is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{reason}; not reproducible from the master seed "
+                    "(use sim.now / an RngRegistry stream)",
+                )
+
+
+#: Terminal identifier fragments that mark an expression as sim-time-like.
+_TIME_EXACT = frozenset(
+    {"now", "time", "timestamp", "ts", "deadline", "expiry", "not_before", "not_after"}
+)
+_TIME_SUFFIXES = ("_time", "_at", "_deadline", "_timestamp", "_expiry")
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_time_expression(node: ast.AST) -> bool:
+    name = _terminal_identifier(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return lowered in _TIME_EXACT or lowered.endswith(_TIME_SUFFIXES)
+
+
+def _is_integerized(node: ast.AST) -> bool:
+    """``int(...)``/``round(...)`` wrappers or int literals compare exactly."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"int", "round"}
+    return isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(
+        node.value, bool
+    )
+
+
+@register
+class FloatTimeEquality(Rule):
+    """DET-004: exact float equality against sim-time expressions.
+
+    Event times accumulate float error (``0.1 + 0.2 != 0.3``); a guard
+    like ``if entry.timestamp == now`` silently stops matching once a
+    scenario reorders additions, and delivery becomes seed-dependent in
+    the worst way — only on some platforms.  Compare with a tolerance or
+    compare integer tick counts.  Test files are exempt by default:
+    asserting exact clock values against the deterministic engine is the
+    point of the engine tests.
+    """
+
+    id = "DET-004"
+    name = "float-time-equality"
+    rationale = (
+        "Float sim-time equality breaks under accumulation order; use a "
+        "tolerance (math.isclose) or integer ticks."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py")
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                for side, other in ((left, right), (right, left)):
+                    if _is_time_expression(side) and not _is_integerized(other):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"exact {'==' if isinstance(op, ast.Eq) else '!='} on "
+                            f"sim-time expression '{_terminal_identifier(side)}'; "
+                            "float time accumulates error — use a tolerance or "
+                            "integer ticks",
+                        )
+                        break
+
+
+def _set_typed_symbols(tree: ast.Module) -> Set[str]:
+    """Names/attributes annotated or assigned as sets anywhere in the module.
+
+    Returns dotted keys: ``seen`` for locals, ``self.seen`` for instance
+    attributes.  Intra-module and flow-insensitive on purpose — a symbol
+    that is *ever* a set is treated as one.
+    """
+
+    def key_of(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+        ):
+            return f"{target.value.id}.{target.attr}"
+        return None
+
+    def is_set_annotation(annotation: ast.AST) -> bool:
+        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        name = _terminal_identifier(base)
+        return name in {"set", "Set", "frozenset", "FrozenSet", "MutableSet"}
+
+    def is_set_value(value: ast.AST) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = _terminal_identifier(value.func)
+            return name in {"set", "frozenset"}
+        return False
+
+    symbols: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and is_set_annotation(node.annotation):
+            key = key_of(node.target)
+            if key is not None:
+                symbols.add(key)
+        elif isinstance(node, ast.Assign) and is_set_value(node.value):
+            for target in node.targets:
+                key = key_of(target)
+                if key is not None:
+                    symbols.add(key)
+    return symbols
+
+
+@register
+class SetIterationOrder(Rule):
+    """DET-005: iterating a bare ``set`` where order matters.
+
+    With string/tuple elements, set iteration order depends on
+    ``PYTHONHASHSEED``; when the loop body schedules events or sends
+    packets, two runs with the same master seed diverge.  Wrap the
+    iterable in ``sorted(...)`` (cheap at simulation scales) or keep a
+    list alongside the membership set.
+    """
+
+    id = "DET-005"
+    name = "set-iteration-order"
+    rationale = (
+        "Set iteration order is hash-seed dependent; ordering leaks into "
+        "event scheduling and breaks run-to-run reproducibility."
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        set_symbols = _set_typed_symbols(module.tree)
+
+        def is_set_expr(node: ast.AST) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(node, ast.Call):
+                return _terminal_identifier(node.func) in {"set", "frozenset"}
+            if isinstance(node, ast.Name):
+                return node.id in set_symbols
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                return f"{node.value.id}.{node.attr}" in set_symbols
+            return False
+
+        def emit(node: ast.AST, how: str) -> Finding:
+            return self.finding(
+                module,
+                node,
+                f"{how} over a bare set has hash-seed-dependent order; "
+                "wrap in sorted(...) or keep an ordered companion list",
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and is_set_expr(node.iter):
+                yield emit(node.iter, "for-loop iteration")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if is_set_expr(comp.iter):
+                        yield emit(comp.iter, "comprehension iteration")
+            elif isinstance(node, ast.Call):
+                name = _terminal_identifier(node.func)
+                if name in {"list", "tuple", "enumerate"} and node.args and is_set_expr(
+                    node.args[0]
+                ):
+                    yield emit(node.args[0], f"{name}() conversion")

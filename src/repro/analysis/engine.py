@@ -1,0 +1,136 @@
+"""Analysis driver: file collection, rule dispatch, suppression filtering.
+
+The engine is deterministic by construction (it must survive its own
+DET rules): files are discovered in sorted order, findings are sorted
+before reporting, and nothing reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    registry,
+)
+from repro.analysis.suppress import collect_suppressions, split_suppressed
+
+# Imported for the side effect of registering the rule families.
+from repro.analysis import det_rules as _det_rules  # noqa: F401
+from repro.analysis import anon_rules as _anon_rules  # noqa: F401
+
+__all__ = ["AnalysisResult", "analyze_paths", "collect_files", "run_rules"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, ready for a reporter."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings, 2 parse/usage errors."""
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[Path] = set()
+    ordered: List[Path] = []
+
+    def add(path: Path) -> None:
+        if path not in seen:
+            seen.add(path)
+            ordered.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    add(candidate)
+        elif path.suffix == ".py":
+            add(path)
+    return ordered
+
+
+def _parse_modules(
+    files: Iterable[Path], errors: List[Finding]
+) -> List[ModuleContext]:
+    modules: List[ModuleContext] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            errors.append(
+                Finding(
+                    path=path.as_posix(),
+                    line=line,
+                    column=1,
+                    rule_id="LINT-000",
+                    message=f"file could not be parsed: {exc}",
+                )
+            )
+            continue
+        modules.append(ModuleContext(path.as_posix(), source, tree))
+    return modules
+
+
+def run_rules(
+    modules: Sequence[ModuleContext],
+    rules: Sequence[Rule],
+    project: Optional[ProjectContext] = None,
+) -> AnalysisResult:
+    """Run ``rules`` over already-parsed modules."""
+    if project is None:
+        project = ProjectContext(modules)
+    result = AnalysisResult(files_analyzed=len(modules))
+    for module in modules:
+        raw: List[Finding] = []
+        for rule in rules:
+            if rule.exempts(module.path):
+                continue
+            raw.extend(rule.check(module, project))
+        active, suppressed = split_suppressed(raw, collect_suppressions(module))
+        result.findings.extend(active)
+        result.suppressed.extend(suppressed)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """The one-call entry point: discover, parse, pre-pass, lint."""
+    errors: List[Finding] = []
+    files = collect_files(paths)
+    modules = _parse_modules(files, errors)
+    rules = registry.select(select=select, ignore=ignore)
+    result = run_rules(modules, rules)
+    result.errors = sorted(errors)
+    return result

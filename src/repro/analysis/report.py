@@ -1,0 +1,79 @@
+"""Text and JSON reporters for analysis results.
+
+Text output is the human/CI-log format (``path:line:col: RULE message``,
+ruff-style); JSON is the machine format the CI gate and any dashboards
+consume.  Both carry the same findings in the same (sorted) order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.analysis.core import registry
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["render_text", "render_json", "write_report"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """``file:line:col: RULE-ID message`` lines plus a summary."""
+    lines = []
+    for finding in (*result.errors, *result.findings):
+        lines.append(f"{finding.location()}: {finding.rule_id} {finding.message}")
+    if verbose and result.suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule_id} [suppressed] {finding.message}"
+            )
+    total = len(result.findings)
+    summary = (
+        f"{result.files_analyzed} files analyzed: "
+        f"{total} finding{'s' if total != 1 else ''}"
+        f", {len(result.suppressed)} suppressed"
+    )
+    if result.errors:
+        summary += f", {len(result.errors)} unparseable"
+    if total:
+        by_rule = ", ".join(
+            f"{rule_id}×{count}" for rule_id, count in result.counts_by_rule().items()
+        )
+        summary += f" ({by_rule})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Stable machine-readable report (sorted findings, versioned shape)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_analyzed": result.files_analyzed,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": [finding.as_dict() for finding in result.suppressed],
+        "errors": [finding.as_dict() for finding in result.errors],
+        "counts": result.counts_by_rule(),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """``--list-rules`` output: one line per registered rule."""
+    lines = []
+    for rule in registry:
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"    {rule.rationale}")
+        if rule.exempt_paths:
+            lines.append(f"    exempt: {', '.join(rule.exempt_paths)}")
+    return "\n".join(lines)
+
+
+def write_report(result: AnalysisResult, fmt: str, stream: IO[str]) -> None:
+    if fmt == "json":
+        stream.write(render_json(result) + "\n")
+    elif fmt == "text":
+        stream.write(render_text(result) + "\n")
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown format {fmt!r}")

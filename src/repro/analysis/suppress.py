@@ -1,0 +1,75 @@
+"""``# repro: noqa[RULE-ID]`` suppression comments.
+
+A finding is suppressed when the physical line it is reported on carries
+a suppression comment naming its rule id (or a bare ``# repro: noqa``,
+which suppresses every rule on that line).  Multiple ids are comma
+separated::
+
+    beacon = GpsrBeacon(
+        sender_identity=self.node.identity,  # repro: noqa[ANON-001] baseline leak
+    )
+
+Suppressions are intentionally line-scoped: the annotation sits next to
+the code it excuses, which doubles as documentation of *deliberate*
+violations (GPSR/DLM are the paper's non-anonymous baselines — their
+identity leaks are the point of the comparison).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.core import Finding, ModuleContext
+
+__all__ = ["Suppressions", "collect_suppressions", "split_suppressed"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z]+-\d+(?:\s*,\s*[A-Za-z]+-\d+)*)\])?",
+)
+
+#: Sentinel meaning "every rule" (bare ``# repro: noqa``).
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Per-line suppression table for one module."""
+
+    by_line: Dict[int, FrozenSet[str]]
+
+    def suppresses(self, finding: Finding) -> bool:
+        ids = self.by_line.get(finding.line)
+        if ids is None:
+            return False
+        return "*" in ids or finding.rule_id in ids
+
+
+def collect_suppressions(module: ModuleContext) -> Suppressions:
+    """Scan source lines for ``# repro: noqa`` comments."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(module.lines, start=1):
+        if "noqa" not in text:  # cheap pre-filter
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("ids")
+        if raw is None:
+            table[lineno] = ALL_RULES
+        else:
+            ids = frozenset(part.strip().upper() for part in raw.split(","))
+            table[lineno] = table.get(lineno, frozenset()) | ids
+    return Suppressions(by_line=table)
+
+
+def split_suppressed(
+    findings: List[Finding], suppressions: Suppressions
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition ``findings`` into (active, suppressed)."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        (suppressed if suppressions.suppresses(finding) else active).append(finding)
+    return active, suppressed

@@ -127,7 +127,10 @@ class AantAuthenticator:
         self.cost = cost_model
         self.keystore = keystore
         self.ca = ca
-        self.rng = rng or random.Random()
+        #: Only real-mode *signing* draws randomness (decoy picking, ring
+        #: glue); verification is deterministic, so the rng stays optional
+        #: and :meth:`sign_hello` rejects a missing one at use.
+        self.rng = rng
 
     # ------------------------------------------------------------------ sign
     def sign_hello(
@@ -144,6 +147,12 @@ class AantAuthenticator:
             return AantAttachment(ring_size=k + 1, extra_bytes=extra), delay
 
         assert self.keystore is not None
+        if self.rng is None:
+            raise ValueError(
+                "real AANT signing requires an explicit rng (e.g. "
+                "node.rng('aant')) so ring selection is reproducible "
+                "from the master seed"
+            )
         ring_certs = self.keystore.pick_ring(k, self.rng)
         signer_index = self.keystore.ring_index_of_self(ring_certs)
         message = hello_signing_bytes(pseudonym, position, timestamp)

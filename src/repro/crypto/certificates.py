@@ -105,8 +105,14 @@ class CertificateAuthority:
         key_bits: int = 768,
         rng: Optional[random.Random] = None,
     ) -> None:
+        if rng is None:
+            raise ValueError(
+                "CertificateAuthority requires an explicit rng (e.g. "
+                "rngs.stream('ca')) so CA and node keys are reproducible "
+                "from the master seed"
+            )
         self.name = name
-        self._rng = rng or random.Random()
+        self._rng = rng
         self._key = generate_keypair(key_bits, self._rng)
         self._next_serial = 1
         self._issued: Dict[int, Certificate] = {}

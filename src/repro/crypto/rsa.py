@@ -39,6 +39,22 @@ _MIN_PAD = 8  # PKCS#1: at least 8 bytes of random padding
 _SESSION_KEY_BYTES = 16
 
 
+def _require_rng(rng: Optional[random.Random], where: str) -> random.Random:
+    """Reject implicit randomness: every caller must pass a seeded stream.
+
+    Falling back to the global ``random`` stream (or an unseeded
+    ``random.Random()``) made keygen and padding differ between runs with
+    the same master seed — the determinism contract of
+    :mod:`repro.sim.rng` forbids exactly that (lint rules DET-001/002).
+    """
+    if rng is None:
+        raise ValueError(
+            f"{where} requires an explicit rng (derive one via RngRegistry) "
+            "so results are reproducible from the master seed"
+        )
+    return rng
+
+
 class CryptoError(Exception):
     """Base class for crypto failures."""
 
@@ -93,6 +109,8 @@ class RsaPublicKey:
     def encrypt(self, plaintext: bytes, rng: Optional[random.Random] = None) -> bytes:
         """Encrypt one block with PKCS#1 v1.5 type-2 padding.
 
+        ``rng`` is required (padding randomness must come from a seeded
+        :class:`~repro.sim.rng.RngRegistry` stream for reproducible runs).
         Raises :class:`MessageTooLong` when the plaintext exceeds
         :attr:`max_plaintext`; use :meth:`encrypt_hybrid` in that case.
         """
@@ -101,7 +119,7 @@ class RsaPublicKey:
             raise MessageTooLong(
                 f"{len(plaintext)} bytes > {self.max_plaintext}-byte block capacity"
             )
-        rng = rng or random
+        rng = _require_rng(rng, "RsaPublicKey.encrypt")
         pad_len = k - 3 - len(plaintext)
         padding = bytes(rng.randrange(1, 256) for _ in range(pad_len))
         block = b"\x00\x02" + padding + b"\x00" + plaintext
@@ -113,9 +131,9 @@ class RsaPublicKey:
 
         A fresh session key is RSA-encrypted, the payload is stream-
         encrypted under it.  Output: one RSA block followed by the
-        same-length ciphertext.
+        same-length ciphertext.  ``rng`` is required, as in :meth:`encrypt`.
         """
-        rng = rng or random
+        rng = _require_rng(rng, "RsaPublicKey.encrypt_hybrid")
         session_key = bytes(rng.randrange(256) for _ in range(_SESSION_KEY_BYTES))
         wrapped = self.encrypt(session_key, rng=rng)
         body = StreamCipher(session_key).encrypt(b"kem", plaintext)
@@ -215,13 +233,15 @@ def generate_keypair(bits: int = 512, rng: Optional[random.Random] = None) -> Rs
     """Generate an RSA key pair with modulus of exactly ``bits`` bits.
 
     ``bits`` must be even and at least 384 (a SHA-256 signature block must
-    fit).  Pass an explicit ``rng`` for reproducible keys in tests.
+    fit).  ``rng`` is required: key generation must be reproducible from
+    the scenario's master seed, so derive the stream via
+    :class:`~repro.sim.rng.RngRegistry` (e.g. ``rngs.stream("keygen")``).
     """
     if bits % 2 != 0:
         raise ValueError("key size must be even")
     if bits < 384:
         raise ValueError("key size must be at least 384 bits")
-    rng = rng or random.Random()
+    rng = _require_rng(rng, "generate_keypair")
     e = 65537
     while True:
         p = generate_prime(bits // 2, rng)

@@ -202,7 +202,10 @@ class DlmAgent:
             update = DlmUpdate(
                 target_location=self.grid.center_of(cell),
                 ttl=self.config.service_ttl,
-                identity=self.node.identity,
+                # DLM is the plain baseline location service: the RLU
+                # carries the (identity, location) doublet in cleartext —
+                # exactly what ALS replaces with an encrypted index.
+                identity=self.node.identity,  # repro: noqa[ANON-001] baseline leak
                 position=position,
                 timestamp=now,
             )
@@ -226,9 +229,10 @@ class DlmAgent:
         request = DlmRequest(
             target_location=self.grid.center_of(cell),
             ttl=self.config.service_ttl,
-            requester_identity=self.node.identity,
+            # Plain-baseline lookup: both identities are wire-visible.
+            requester_identity=self.node.identity,  # repro: noqa[ANON-001] baseline leak
             requester_location=self.node.position,
-            target_identity=identity,
+            target_identity=identity,  # repro: noqa[ANON-001] baseline leak
         )
         self._route(request)
         pending.timer = self.sim.schedule(
@@ -327,9 +331,11 @@ class DlmAgent:
         reply = DlmReply(
             target_location=request.requester_location,
             ttl=self.config.service_ttl,
-            requester_identity=request.requester_identity,
-            target_identity=entry.identity,
-            target_position=entry.position,
+            # Plain-baseline reply: echoes the requester and hands out the
+            # target's identity-location doublet to any sniffer.
+            requester_identity=request.requester_identity,  # repro: noqa[ANON-001] baseline leak
+            target_identity=entry.identity,  # repro: noqa[ANON-001] baseline leak
+            target_position=entry.position,  # repro: noqa[ANON-001] baseline leak
             timestamp=entry.timestamp,
         )
         self._route(reply)

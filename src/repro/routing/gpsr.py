@@ -110,7 +110,10 @@ class GpsrRouter(BaseRouter):
     # ------------------------------------------------------------- beaconing
     def send_beacon(self) -> None:
         beacon = GpsrBeacon(
-            sender_identity=self.node.identity,
+            # GPSR is the paper's non-anonymous baseline: the cleartext
+            # (identity, location) doublet in its beacon is the leak the
+            # Fig. 1 comparison measures AGFW against.
+            sender_identity=self.node.identity,  # repro: noqa[ANON-001] baseline leak
             position=self.position,
             timestamp=self.sim.now,
         )
@@ -148,8 +151,10 @@ class GpsrRouter(BaseRouter):
     ) -> Optional[int]:
         packet = GpsrData(
             payload_bytes=payload_bytes,
-            src_identity=self.node.identity,
-            dest_identity=dest_identity,
+            # Baseline protocol: both endpoint identities ride in the
+            # cleartext header (what AGFW replaces with a trapdoor).
+            src_identity=self.node.identity,  # repro: noqa[ANON-001] baseline leak
+            dest_identity=dest_identity,  # repro: noqa[ANON-001] baseline leak
             dest_location=dest_location,
             ttl=self.config.data_ttl,
         )

@@ -5,6 +5,21 @@ subsystems (mobility, traffic, MAC backoff, crypto nonces, ...) must not
 perturb each other's streams when one of them draws a different number of
 variates.  :class:`RngRegistry` derives an independent, stable
 ``random.Random`` stream per named subsystem from the master seed.
+
+The determinism contract (mechanized by ``repro.analysis``'s DET rules):
+
+1. Every stream of randomness is a ``random.Random`` obtained from a
+   registry (``node.rng(name)`` / ``RngRegistry.stream``) or seeded from
+   a value that is itself derived from the master seed.  This module is
+   the **only** place allowed to construct ``random.Random`` (DET-002);
+   the process-global ``random`` module is never drawn from (DET-001).
+2. Simulated time comes from ``sim.now``, never the wall clock or OS
+   entropy — no ``time.time``/``datetime.now``/``uuid4``/``os.urandom``
+   in simulation code (DET-003).
+3. Float sim-times are never compared with ``==``/``!=`` (DET-004), and
+   event-ordering never depends on set iteration order (DET-005).
+
+Run ``python -m repro.analysis src tests`` (CI does) to check the tree.
 """
 
 from __future__ import annotations

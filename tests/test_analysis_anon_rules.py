@@ -1,0 +1,266 @@
+"""Per-rule fixtures for the ANON anonymity-invariant family.
+
+The fixtures subclass the real ``Packet`` root so the project pre-pass
+recognizes the constructors as wire-visible sinks, then try the leak
+paths the paper rules out: identities and MAC addresses in packet
+fields, directly or through local variables, f-strings and clones.
+"""
+
+from __future__ import annotations
+
+from tests.analysis_helpers import PACKET_PREAMBLE, lint_source, rule_ids
+
+
+# ------------------------------------------------------------------ ANON-001
+def test_anon001_identity_kwarg(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node, mac):
+            packet = Probe(sender=node.identity)
+            mac.send(packet)
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+    assert "identity" in result.findings[0].message
+
+
+def test_anon001_positional_arg(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node):
+            return Probe(node.identity)
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+    assert "positional arg 0" in result.findings[0].message
+
+
+def test_anon001_via_local_variable(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node):
+            who = node.identity
+            return Probe(sender=who)
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+
+
+def test_anon001_fstring_leak(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node):
+            return Probe(sender=f"fwd-{node.identity}")
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+
+
+def test_anon001_packet_field_assignment(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node):
+            packet = Probe()
+            packet.sender = node.identity
+            return packet
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+    assert "packet.sender" in result.findings[0].message
+
+
+def test_anon001_clone_for_forwarding(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def forward(packet, node):
+            return packet.clone_for_forwarding(sender=node.identity)
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+
+
+def test_anon001_certificate_subject_is_seed(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def advertise(cert):
+            return Probe(sender=cert.subject)
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+
+
+def test_anon001_sanitized_by_make_index(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def update(node, make_index):
+            return Probe(sender=make_index(node.identity))
+        """,
+        select=["ANON-001"],
+    )
+    assert result.findings == []
+
+
+def test_anon001_sanitized_by_trapdoor_seal(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def originate(node, factory):
+            return Probe(payload=factory.seal(node.identity))
+        """,
+        select=["ANON-001"],
+    )
+    assert result.findings == []
+
+
+def test_anon001_pseudonym_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node):
+            return Probe(sender=node.pseudonym)
+        """,
+        select=["ANON-001"],
+    )
+    assert result.findings == []
+
+
+def test_anon001_crypto_paths_are_allowlisted(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def enroll(node):
+            return Probe(sender=node.identity)
+        """,
+        select=["ANON-001"],
+        rel="src/repro/crypto/enrollment.py",
+    )
+    assert result.findings == []
+
+
+def test_anon001_noqa_marks_deliberate_baseline_leak(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def send_hello(node):
+            return Probe(
+                sender=node.identity,  # repro: noqa[ANON-001] baseline leak
+            )
+        """,
+        select=["ANON-001"],
+    )
+    assert result.findings == []
+    assert [f.rule_id for f in result.suppressed] == ["ANON-001"]
+
+
+def test_anon001_identity_linked_position_doublet(tmp_path):
+    # A position looked up *by identity* is the (identity, location)
+    # doublet the paper hides; it stays tainted through the record.
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def serve(store, identity):
+            entry = store.get(identity)
+            return Probe(payload=entry.position)
+        """,
+        select=["ANON-001"],
+    )
+    assert rule_ids(result) == ["ANON-001"]
+
+
+def test_anon001_timestamp_of_looked_up_entry_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def serve(store, identity):
+            entry = store.get(identity)
+            return Probe(payload=entry.timestamp)
+        """,
+        select=["ANON-001"],
+    )
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------ ANON-002
+def test_anon002_mac_attribute(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def announce(node):
+            return Probe(sender=node.address)
+        """,
+        select=["ANON-002"],
+    )
+    assert rule_ids(result) == ["ANON-002"]
+    assert "MAC address" in result.findings[0].message
+
+
+def test_anon002_mac_for_node_call(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        from repro.net.addresses import mac_for_node
+
+        def announce(index):
+            return Probe(sender=mac_for_node(index))
+        """,
+        select=["ANON-002"],
+    )
+    assert rule_ids(result) == ["ANON-002"]
+
+
+def test_anon002_mac_frames_module_is_allowlisted(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def frame(node):
+            return Probe(sender=node.address)
+        """,
+        select=["ANON-002"],
+        rel="src/repro/net/mac/frames.py",
+    )
+    assert result.findings == []
+
+
+def test_anon002_broadcast_constant_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        PACKET_PREAMBLE
+        + """\
+        def announce(node, payload):
+            return Probe(sender="broadcast", payload=payload)
+        """,
+        select=["ANON-002"],
+    )
+    assert result.findings == []

@@ -1,0 +1,279 @@
+"""Per-rule fixtures for the DET determinism family.
+
+Each rule gets a positive fixture (fires with the right id and line),
+a negative fixture (the compliant idiom passes), and — where the rule
+has one — an allowlisted-path fixture.
+"""
+
+from __future__ import annotations
+
+from tests.analysis_helpers import lint_source, rule_ids
+
+
+# ------------------------------------------------------------------- DET-001
+def test_det001_module_level_draw(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """,
+        select=["DET-001"],
+    )
+    assert rule_ids(result) == ["DET-001"]
+    assert result.findings[0].line == 4
+
+
+def test_det001_from_import_draw(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from random import shuffle
+
+        def scramble(items):
+            shuffle(items)
+        """,
+        select=["DET-001"],
+    )
+    assert rule_ids(result) == ["DET-001"]
+    assert "shuffle" in result.findings[0].message
+
+
+def test_det001_bare_module_as_rng_object(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import random
+
+        def jitter(rng=None):
+            rng = rng or random
+            return rng.uniform(0.0, 1.0)
+        """,
+        select=["DET-001"],
+    )
+    assert rule_ids(result) == ["DET-001"]
+
+
+def test_det001_explicit_rng_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import random
+
+        def pick(items, rng: random.Random):
+            return rng.choice(items)
+        """,
+        select=["DET-001"],
+    )
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-002
+def test_det002_unseeded_random(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import random
+
+        def make_rng():
+            return random.Random()
+        """,
+        select=["DET-002"],
+        rel="src/repro/routing/fixture_mod.py",
+    )
+    assert rule_ids(result) == ["DET-002"]
+    assert result.findings[0].line == 4
+
+
+def test_det002_from_import_form(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "from random import Random\n\nrng = Random()\n",
+        select=["DET-002"],
+    )
+    assert rule_ids(result) == ["DET-002"]
+
+
+def test_det002_seeded_random_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import random\n\nrng = random.Random(42)\n",
+        select=["DET-002"],
+    )
+    assert result.findings == []
+
+
+def test_det002_rng_registry_module_is_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import random\n\nrng = random.Random()\n",
+        select=["DET-002"],
+        rel="src/repro/sim/rng.py",
+    )
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-003
+def test_det003_wall_clock(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        def freshness():
+            return time.time()
+        """,
+        select=["DET-003"],
+    )
+    assert rule_ids(result) == ["DET-003"]
+    assert "wall clock" in result.findings[0].message
+
+
+def test_det003_uuid4_and_urandom(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import os
+        import uuid
+
+        def fresh_nonce():
+            return uuid.uuid4().bytes + os.urandom(8)
+        """,
+        select=["DET-003"],
+    )
+    assert sorted(rule_ids(result)) == ["DET-003", "DET-003"]
+
+
+def test_det003_datetime_now_via_from_import(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "from datetime import datetime\n\nstamp = datetime.now()\n",
+        select=["DET-003"],
+    )
+    assert rule_ids(result) == ["DET-003"]
+
+
+def test_det003_perf_counter_is_allowed(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import time\n\nstarted = time.perf_counter()\n",
+        select=["DET-003"],
+    )
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-004
+def test_det004_float_time_equality(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def stale(entry, now):
+            return entry.timestamp == now
+        """,
+        select=["DET-004"],
+    )
+    assert "DET-004" in rule_ids(result)
+
+
+def test_det004_tolerance_compare_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def stale(entry, now, eps=1e-9):
+            return abs(entry.timestamp - now) < eps
+        """,
+        select=["DET-004"],
+    )
+    assert result.findings == []
+
+
+def test_det004_integer_tick_compare_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def on_tick(deadline_tick, tick):
+            return int(deadline_tick) == int(tick)
+        """,
+        select=["DET-004"],
+    )
+    assert result.findings == []
+
+
+def test_det004_test_files_are_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "def check(sim):\n    assert sim.now == 5.0\n",
+        select=["DET-004"],
+        rel="tests/test_fixture_clock.py",
+    )
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-005
+def test_det005_for_loop_over_set(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def fan_out(discover, send):
+            neighbors: set = discover()
+            for neighbor in neighbors:
+                send(neighbor)
+        """,
+        select=["DET-005"],
+    )
+    assert rule_ids(result) == ["DET-005"]
+    assert result.findings[0].line == 3
+
+
+def test_det005_instance_attribute_set(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        class Router:
+            def __init__(self):
+                self._pending = set()
+
+            def flush(self, send):
+                for uid in self._pending:
+                    send(uid)
+        """,
+        select=["DET-005"],
+    )
+    assert rule_ids(result) == ["DET-005"]
+
+
+def test_det005_list_conversion_of_set_literal(tmp_path):
+    result = lint_source(
+        tmp_path,
+        'order = list({"a", "b", "c"})\n',
+        select=["DET-005"],
+    )
+    assert rule_ids(result) == ["DET-005"]
+
+
+def test_det005_sorted_iteration_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def fan_out(neighbors: set, send):
+            for neighbor in sorted(neighbors):
+                send(neighbor)
+        """,
+        select=["DET-005"],
+    )
+    assert result.findings == []
+
+
+def test_det005_list_iteration_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def fan_out(neighbors: list, send):
+            for neighbor in neighbors:
+                send(neighbor)
+        """,
+        select=["DET-005"],
+    )
+    assert result.findings == []

@@ -17,8 +17,8 @@ def test_broadcast_is_all_ones():
 
 
 def test_mac_for_node_unique_and_not_broadcast():
-    macs = {mac_for_node(i) for i in range(100)}
-    assert len(macs) == 100
+    macs = [mac_for_node(i) for i in range(100)]
+    assert len(set(macs)) == 100
     assert not any(m.is_broadcast for m in macs)
 
 
