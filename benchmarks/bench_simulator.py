@@ -7,16 +7,19 @@ visible.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import pytest
 
 from repro.geo.vec import Position
-from repro.net.addresses import BROADCAST
+from repro.net.addresses import BROADCAST, MacAddress
+from repro.net.mac.frames import FrameKind, MacFrame
 from repro.net.medium import RadioMedium
 from repro.net.mobility import StaticMobility
 from repro.net.node import Node
 from repro.net.packet import Packet
+from repro.net.phy import PhyRadio
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -86,6 +89,43 @@ def test_broadcast_fanout_50_nodes(benchmark):
         return sum(n.mac.stats.delivered_up for n in nodes)
 
     assert benchmark(run) > 0
+
+
+def _phy_mesh(num_nodes: int, index_mode: str):
+    """A square static grid of bare radios, 250 m pitch (PHY only: no MAC,
+    so the benchmark isolates the medium's per-frame fan-out cost)."""
+    sim = Simulator()
+    medium = RadioMedium(sim, index_mode=index_mode)
+    side = math.ceil(math.sqrt(num_nodes))
+    radios = [
+        PhyRadio(
+            sim, i, medium,
+            StaticMobility(Position((i % side) * 250.0, (i // side) * 250.0)),
+        )
+        for i in range(num_nodes)
+    ]
+    return sim, medium, radios
+
+
+# The acceptance benchmark for the spatial index: identical workload under
+# both fan-out strategies.  bench_to_json.py derives the grid-vs-brute
+# speedup from this pair and records it in BENCH_substrate.json.
+@pytest.mark.benchmark(group="substrate")
+@pytest.mark.parametrize("index_mode", ["grid", "brute"])
+def test_medium_fanout_150_nodes(benchmark, index_mode):
+    # Mesh built once outside the timed region: both modes pay identical
+    # construction cost, so the measurement isolates per-frame fan-out.
+    sim, medium, radios = _phy_mesh(150, index_mode)
+    frame = MacFrame(FrameKind.DATA, MacAddress(1), BROADCAST)
+
+    def run():
+        already_sent = medium.frames_sent
+        for i in range(1_000):
+            medium.transmit(radios[i % 150], frame, 1e-4)
+            sim.run(until=sim.now + 2e-4)
+        return medium.frames_sent - already_sent
+
+    assert benchmark(run) == 1_000
 
 
 @pytest.mark.benchmark(group="substrate")

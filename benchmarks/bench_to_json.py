@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Run the substrate benchmarks and emit a slim, versioned JSON baseline.
+
+``pytest-benchmark``'s native ``--benchmark-json`` output is rich but
+noisy (hostnames, timestamps, per-round samples) — unsuitable for
+committing and diffing.  This harness runs the suite, distills it to a
+stable machine-readable document, and can compare a fresh run against a
+committed baseline:
+
+    # regenerate the committed baseline
+    python benchmarks/bench_to_json.py --output benchmarks/BENCH_substrate.json
+
+    # CI smoke: fresh run, fail if any benchmark slowed >2x vs baseline
+    python benchmarks/bench_to_json.py --output /tmp/bench_now.json \\
+        --compare benchmarks/BENCH_substrate.json --max-regression 2.0
+
+Output schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "substrate",
+      "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...}},
+      "derived": {"fanout_speedup_150_nodes": <brute mean / grid mean>}
+    }
+
+Absolute means are hardware-dependent; the *ratios* (the derived speedup
+and the regression comparison) are what the numbers are for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = pathlib.Path(__file__).resolve().parent / "bench_simulator.py"
+SCHEMA_VERSION = 1
+
+#: Derived ratio metrics: name -> (numerator benchmark, denominator benchmark).
+DERIVED = {
+    "fanout_speedup_150_nodes": (
+        "test_medium_fanout_150_nodes[brute]",
+        "test_medium_fanout_150_nodes[grid]",
+    ),
+}
+
+
+def run_suite(pytest_args: list[str] | None = None) -> dict:
+    """Run the benchmark suite; return pytest-benchmark's raw JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = pathlib.Path(tmp) / "raw.json"
+        cmd = [
+            sys.executable, "-m", "pytest", str(BENCH_FILE),
+            "-q", "-p", "no:cacheprovider",
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+        ] + (pytest_args or [])
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark suite failed (pytest exit {proc.returncode})")
+        return json.loads(raw_path.read_text(encoding="utf-8"))
+
+
+def distill(raw: dict) -> dict:
+    """Reduce pytest-benchmark's document to the committed schema."""
+    benchmarks: dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "mean_s": round(stats["mean"], 9),
+            "stddev_s": round(stats["stddev"], 9),
+            "rounds": stats["rounds"],
+        }
+    derived: dict[str, float] = {}
+    for metric, (numerator, denominator) in DERIVED.items():
+        num = benchmarks.get(numerator)
+        den = benchmarks.get(denominator)
+        if num and den and den["mean_s"] > 0:
+            derived[metric] = round(num["mean_s"] / den["mean_s"], 3)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "substrate",
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "derived": derived,
+    }
+
+
+def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Regressions of ``current`` vs ``baseline`` (empty list = pass).
+
+    A benchmark regresses when its mean slows by more than
+    ``max_regression``x.  Benchmarks present on only one side are
+    reported informationally but do not fail the comparison (suites
+    grow; removals should be deliberate and reviewed).
+    """
+    failures: list[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    for name, base in sorted(base_benches.items()):
+        cur = cur_benches.get(name)
+        if cur is None:
+            print(f"note: baseline benchmark missing from this run: {name}")
+            continue
+        if base["mean_s"] <= 0:
+            continue
+        ratio = cur["mean_s"] / base["mean_s"]
+        status = "FAIL" if ratio > max_regression else "ok"
+        print(
+            f"{status:>4}  {name:<44} {base['mean_s'] * 1e3:9.3f} ms -> "
+            f"{cur['mean_s'] * 1e3:9.3f} ms  ({ratio:.2f}x)"
+        )
+        if ratio > max_regression:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"(limit {max_regression:.2f}x)"
+            )
+    for name in sorted(set(cur_benches) - set(base_benches)):
+        print(f"note: new benchmark not in baseline: {name}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="where to write the distilled JSON (default: stdout)",
+    )
+    parser.add_argument(
+        "--compare", type=pathlib.Path, default=None,
+        help="baseline JSON to compare against (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail when a benchmark's mean slows by more than this factor",
+    )
+    parser.add_argument(
+        "--from-raw", type=pathlib.Path, default=None,
+        help="distill an existing pytest-benchmark JSON instead of running",
+    )
+    args = parser.parse_args(argv)
+
+    raw = (
+        json.loads(args.from_raw.read_text(encoding="utf-8"))
+        if args.from_raw is not None
+        else run_suite()
+    )
+    document = distill(raw)
+    text = json.dumps(document, indent=2, sort_keys=False) + "\n"
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text(encoding="utf-8"))
+        if baseline.get("schema_version") != SCHEMA_VERSION:
+            raise SystemExit(
+                f"baseline schema_version {baseline.get('schema_version')!r} "
+                f"!= expected {SCHEMA_VERSION}"
+            )
+        failures = compare(document, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"regression: {failure}", file=sys.stderr)
+            return 1
+        print("benchmark comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

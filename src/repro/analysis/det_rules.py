@@ -15,6 +15,9 @@ DET-003     wall-clock / OS-entropy sources (``time.time``,
 DET-004     float ``==``/``!=`` against sim-time expressions
 DET-005     iteration over a bare ``set`` where order can leak into
             event scheduling
+DET-006     module-level mutable counters (``itertools.count`` at module
+            scope, ``global`` int bumps) leaking state across Simulator
+            instances in one process
 ==========  ===========================================================
 """
 
@@ -31,6 +34,7 @@ __all__ = [
     "WallClockEntropy",
     "FloatTimeEquality",
     "SetIterationOrder",
+    "ModuleLevelCounter",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -411,3 +415,81 @@ class SetIterationOrder(Rule):
                     node.args[0]
                 ):
                     yield emit(node.args[0], f"{name}() conversion")
+
+
+@register
+class ModuleLevelCounter(Rule):
+    """DET-006: module-level mutable counters in simulation-visible state.
+
+    A counter bound at module scope (``_uid = itertools.count(1)``, or an
+    int bumped through ``global``) lives as long as the *process*, not
+    the :class:`~repro.sim.engine.Simulator`.  The second scenario built
+    in one process starts mid-sequence, so any value that reaches trace
+    output, a tie-breaker, or a hash makes back-to-back runs of the same
+    seed differ — the bug class fixed by moving the medium's tx uid onto
+    the ``RadioMedium`` instance.  The exempted files hold the audited
+    exceptions: packet/frame uids must be unique across *all* nodes of a
+    run, and their values are proven outcome-invisible (never compared,
+    ordered on, or formatted into experiment output; the determinism
+    equivalence suite would catch a violation).
+    """
+
+    id = "DET-006"
+    name = "module-level-counter"
+    rationale = (
+        "Module-level counters outlive the Simulator: a second run in the "
+        "same process starts mid-sequence, breaking same-seed reproducibility "
+        "unless the values are provably outcome-invisible."
+    )
+    exempt_paths = (
+        "net/packet.py",      # cross-node packet uids; values outcome-invisible
+        "net/mac/frames.py",  # cross-node frame uids; values outcome-invisible
+        "tests/*",
+        "test_*.py",
+        "conftest.py",
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        # (a) ``name = itertools.count(...)`` at module scope.
+        module_int_names: Set[str] = set()
+        for stmt in module.tree.body:
+            targets: Tuple[ast.AST, ...] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = tuple(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = (stmt.target,), stmt.value
+            if value is None:
+                continue
+            if (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+                and not isinstance(value.value, bool)
+            ):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        module_int_names.add(target.id)
+            if (
+                isinstance(value, ast.Call)
+                and _resolve_call_target(module, value.func) == ("itertools", "count")
+            ):
+                yield self.finding(
+                    module,
+                    stmt,
+                    "module-level itertools.count() outlives the Simulator; "
+                    "hold the counter on the owning instance (cf. "
+                    "RadioMedium._tx_uid) or audit & exempt this path",
+                )
+        # (b) ``global name`` + mutation of a module-level int.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Global):
+                continue
+            for name in node.names:
+                if name in module_int_names:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'global {name}' mutates a module-level int counter "
+                        "that persists across Simulator instances; move it "
+                        "onto the owning object",
+                    )

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.sim.rng import derive_seed
 
 __all__ = [
     "Fig1Point",
@@ -47,45 +49,57 @@ class Fig1Point:
     collisions: int
 
 
+def _run_fig1_point(cfg: ScenarioConfig) -> Fig1Point:
+    """Worker for one (scheme, density) cell — top-level so it pickles.
+
+    Builds its own Simulator/RngRegistry from ``cfg`` (inside
+    :func:`run_scenario`); shares nothing with sibling points.
+    """
+    result = run_scenario(cfg)
+    return Fig1Point(
+        scheme=cfg.protocol,
+        num_nodes=cfg.num_nodes,
+        delivery_fraction=result.delivery_fraction,
+        mean_latency_ms=result.mean_latency * 1000.0,
+        sent=result.sent,
+        delivered=result.delivered,
+        collisions=result.collisions,
+    )
+
+
 def run_fig1(
     node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
     schemes: Sequence[str] = FIG1_SCHEMES,
     sim_time: float = 900.0,
     seed: int = 1,
     base: ScenarioConfig | None = None,
+    jobs: int = 1,
 ) -> List[Fig1Point]:
     """Run the full density sweep and return all points.
 
     ``sim_time`` scales the run length: benchmarks use short horizons
     (the traffic window shrinks proportionally), the full reproduction
-    uses the paper's 900 s.
+    uses the paper's 900 s.  Each point gets a child seed derived from
+    ``seed`` and its (scheme, count) label, so points are statistically
+    independent and, crucially, *identical whether the sweep runs
+    serially or fanned over ``jobs`` worker processes* — the point's
+    whole random state is a pure function of its config.
     """
     template = base if base is not None else ScenarioConfig()
-    points: List[Fig1Point] = []
-    for scheme in schemes:
-        for count in node_counts:
-            start_hi = min(30.0, max(3.0, sim_time / 10.0))
-            cfg = replace(
-                template,
-                protocol=scheme,
-                num_nodes=count,
-                sim_time=sim_time,
-                seed=seed,
-                traffic_start=(1.0, start_hi),
-            )
-            result = run_scenario(cfg)
-            points.append(
-                Fig1Point(
-                    scheme=scheme,
-                    num_nodes=count,
-                    delivery_fraction=result.delivery_fraction,
-                    mean_latency_ms=result.mean_latency * 1000.0,
-                    sent=result.sent,
-                    delivered=result.delivered,
-                    collisions=result.collisions,
-                )
-            )
-    return points
+    start_hi = min(30.0, max(3.0, sim_time / 10.0))
+    configs = [
+        replace(
+            template,
+            protocol=scheme,
+            num_nodes=count,
+            sim_time=sim_time,
+            seed=derive_seed(seed, f"fig1:{scheme}:{count}"),
+            traffic_start=(1.0, start_hi),
+        )
+        for scheme in schemes
+        for count in node_counts
+    ]
+    return parallel_map(_run_fig1_point, configs, jobs=jobs)
 
 
 def _series(points: Iterable[Fig1Point]) -> Dict[str, Dict[int, Fig1Point]]:

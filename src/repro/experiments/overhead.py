@@ -27,6 +27,7 @@ from repro.core.config import AgfwConfig
 from repro.crypto.certificates import CertificateAuthority, KeyStore
 from repro.crypto.ring_signature import ring_sign
 from repro.crypto.timing import DEFAULT_COST_MODEL, CryptoCostModel
+from repro.experiments.parallel import parallel_map
 from repro.geo.grid import Grid
 from repro.geo.region import Region
 from repro.geo.vec import Position
@@ -153,6 +154,83 @@ def _build_static_network(
     return sim, nodes, grid, tracer
 
 
+def _run_service_point(task: tuple) -> LocationServiceReport:
+    """Worker for one service's run of the shared lookup workload.
+
+    Top-level (picklable) and self-contained: it builds its own
+    Simulator/network from the task parameters, so DLM and ALS runs can
+    execute in separate processes with results identical to serial.
+    """
+    service_name, num_nodes, seed, num_lookups, warmup, include_index, senders_per_node = task
+    sim, nodes, grid, _tracer = _build_static_network(
+        num_nodes, seed, protocol="gpsr" if service_name == "dlm" else "agfw"
+    )
+    rng = random.Random(seed + 1)
+    pair_rng = random.Random(seed + 2)
+    pairs = []
+    for _ in range(num_lookups):
+        a, b = pair_rng.sample(range(num_nodes), 2)
+        pairs.append((a, b))
+    agents = []
+    for index, node in enumerate(nodes):
+        if service_name == "dlm":
+            agent = DlmAgent(node, node.router, grid, DlmConfig())
+        else:
+            agent = AlsAgent(
+                node, node.router, grid, AlsConfig(include_index=include_index)
+            )
+            others = [n.identity for n in nodes if n.identity != node.identity]
+            if senders_per_node is None:
+                anticipated = others
+            else:
+                anticipated = rng.sample(others, min(senders_per_node, len(others)))
+                # Lookups must be answerable: anticipate the requesters
+                # that will actually query this node.
+                for requester, target in pairs:
+                    if target == index:
+                        requester_id = nodes[requester].identity
+                        if requester_id not in anticipated:
+                            anticipated.append(requester_id)
+            agent.potential_senders = anticipated
+        agents.append(agent)
+    for node in nodes:
+        node.start()
+    for agent in agents:
+        agent.start()
+
+    answered = {"n": 0}
+
+    def _schedule_lookups() -> None:
+        for offset, (a, b) in enumerate(pairs):
+            requester = nodes[a]
+            target = nodes[b]
+
+            def _go(requester=requester, target=target) -> None:
+                def _done(position) -> None:
+                    if position is not None:
+                        answered["n"] += 1
+
+                requester.router.location_service.lookup(  # type: ignore[union-attr]
+                    requester, target.identity, _done
+                )
+
+            sim.schedule(warmup + offset * 0.5, _go, name="exp.lookup")
+
+    _schedule_lookups()
+    sim.run(until=warmup + num_lookups * 0.5 + 10.0)
+
+    return LocationServiceReport(
+        service=service_name,
+        lookups=num_lookups,
+        lookups_answered=answered["n"],
+        messages=sum(a.messages_sent for a in agents),
+        bytes=sum(a.bytes_sent for a in agents),
+        crypto_ops=sum(getattr(a, "crypto_ops", 0) for a in agents),
+        crypto_time_ms=sum(getattr(a, "crypto_time_charged", 0.0) for a in agents)
+        * 1000,
+    )
+
+
 def run_location_service_comparison(
     num_nodes: int = 60,
     seed: int = 11,
@@ -160,6 +238,7 @@ def run_location_service_comparison(
     warmup: float = 15.0,
     include_index: bool = True,
     senders_per_node: Optional[int] = None,
+    jobs: int = 1,
 ) -> List[LocationServiceReport]:
     """The same lookup workload over DLM (cleartext) and ALS (anonymous).
 
@@ -167,80 +246,15 @@ def run_location_service_comparison(
     luck, dominates.  ``senders_per_node`` bounds how many potential
     requesters each ALS updater anticipates (None = everyone, the paper's
     stated worst case for update overhead).  Lookup pairs are drawn so
-    the anticipated-senders constraint is honoured.
+    the anticipated-senders constraint is honoured.  The two service
+    runs are independent simulations; ``jobs > 1`` runs them in parallel
+    with identical results.
     """
-    reports: List[LocationServiceReport] = []
-    for service_name in ("dlm", "als"):
-        sim, nodes, grid, _tracer = _build_static_network(
-            num_nodes, seed, protocol="gpsr" if service_name == "dlm" else "agfw"
-        )
-        rng = random.Random(seed + 1)
-        pair_rng = random.Random(seed + 2)
-        pairs = []
-        for _ in range(num_lookups):
-            a, b = pair_rng.sample(range(num_nodes), 2)
-            pairs.append((a, b))
-        agents = []
-        for index, node in enumerate(nodes):
-            if service_name == "dlm":
-                agent = DlmAgent(node, node.router, grid, DlmConfig())
-            else:
-                agent = AlsAgent(
-                    node, node.router, grid, AlsConfig(include_index=include_index)
-                )
-                others = [n.identity for n in nodes if n.identity != node.identity]
-                if senders_per_node is None:
-                    anticipated = others
-                else:
-                    anticipated = rng.sample(others, min(senders_per_node, len(others)))
-                    # Lookups must be answerable: anticipate the requesters
-                    # that will actually query this node.
-                    for requester, target in pairs:
-                        if target == index:
-                            requester_id = nodes[requester].identity
-                            if requester_id not in anticipated:
-                                anticipated.append(requester_id)
-                agent.potential_senders = anticipated
-            agents.append(agent)
-        for node in nodes:
-            node.start()
-        for agent in agents:
-            agent.start()
-
-        answered = {"n": 0}
-
-        def _schedule_lookups() -> None:
-            for offset, (a, b) in enumerate(pairs):
-                requester = nodes[a]
-                target = nodes[b]
-
-                def _go(requester=requester, target=target) -> None:
-                    def _done(position) -> None:
-                        if position is not None:
-                            answered["n"] += 1
-
-                    requester.router.location_service.lookup(  # type: ignore[union-attr]
-                        requester, target.identity, _done
-                    )
-
-                sim.schedule(warmup + offset * 0.5, _go, name="exp.lookup")
-
-        _schedule_lookups()
-        sim.run(until=warmup + num_lookups * 0.5 + 10.0)
-
-        reports.append(
-            LocationServiceReport(
-                service=service_name,
-                lookups=num_lookups,
-                lookups_answered=answered["n"],
-                messages=sum(a.messages_sent for a in agents),
-                bytes=sum(a.bytes_sent for a in agents),
-                crypto_ops=sum(getattr(a, "crypto_ops", 0) for a in agents),
-                crypto_time_ms=sum(getattr(a, "crypto_time_charged", 0.0) for a in agents)
-                * 1000,
-            )
-        )
-    return reports
+    tasks = [
+        (service_name, num_nodes, seed, num_lookups, warmup, include_index, senders_per_node)
+        for service_name in ("dlm", "als")
+    ]
+    return parallel_map(_run_service_point, tasks, jobs=jobs)
 
 
 def format_location_service_comparison(reports: Sequence[LocationServiceReport]) -> str:

@@ -35,6 +35,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sim-time", type=float, default=None, help="seconds per point")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiment points "
+        "(output is byte-identical for any value)",
+    )
+    parser.add_argument(
         "--nodes",
         type=int,
         nargs="*",
@@ -57,7 +64,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if "fig1" not in args.skip:
         print(f"# Density sweep ({sim_time:.0f} s per point, seed {args.seed})\n")
-        points = run_fig1(node_counts=counts, sim_time=sim_time, seed=args.seed)
+        points = run_fig1(
+            node_counts=counts, sim_time=sim_time, seed=args.seed, jobs=args.jobs
+        )
         print(format_fig1a(points))
         print()
         print(format_fig1b(points))
@@ -66,7 +75,7 @@ def main(argv: list[str] | None = None) -> int:
     if "exposure" not in args.skip:
         print("# Privacy exposure (Sections 2 & 4)\n")
         reports = run_exposure_experiment(
-            sim_time=min(sim_time * 3, 60.0), seed=args.seed
+            sim_time=min(sim_time * 3, 60.0), seed=args.seed, jobs=args.jobs
         )
         print(format_exposure(reports))
         print()
@@ -78,7 +87,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if "als" not in args.skip:
         print("# ALS vs DLM overhead (Sections 3.3 & 5)\n")
-        reports = run_location_service_comparison(seed=args.seed)
+        reports = run_location_service_comparison(seed=args.seed, jobs=args.jobs)
         print(format_location_service_comparison(reports))
         print()
 

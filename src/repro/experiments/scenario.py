@@ -56,6 +56,10 @@ class ScenarioConfig:
     interference_range: float = 550.0
     sim_time: float = 900.0
     seed: int = 1
+    # Medium fan-out strategy: "grid" (spatial index, default), "brute"
+    # (full O(N) scan), or "cross" (grid verified against brute on every
+    # query).  Outcome-identical by construction; see repro.geo.spatial.
+    medium_index: str = "grid"
 
     # Mobility (paper defaults); static=True pins nodes for debugging.
     min_speed: float = 1.0
@@ -152,6 +156,7 @@ class Scenario:
             self.tracer,
             radio_range=config.radio_range,
             interference_range=config.interference_range,
+            index_mode=config.medium_index,
         )
         self.region = Region.of_size(config.width, config.height)
         self.rngs = RngRegistry(config.seed)

@@ -16,9 +16,10 @@ protocols with a global sniffer coalition and measures:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 from repro.adversary.tracker import DoubletTracker, RouteTracer
+from repro.experiments.parallel import parallel_map
 from repro.experiments.scenario import ScenarioConfig, Scenario
 
 __all__ = ["ExposureReport", "run_exposure_experiment", "format_exposure"]
@@ -39,6 +40,38 @@ class ExposureReport:
     identities_from_routes: int
 
 
+def _run_exposure_point(task: Tuple[ScenarioConfig, float]) -> ExposureReport:
+    """Worker for one protocol run — top-level so it pickles for the pool."""
+    cfg, tracking_horizon = task
+    scenario = Scenario(cfg)
+    scenario.run()
+    assert scenario.sniffer is not None
+    observations = scenario.sniffer.observations
+
+    tracker = DoubletTracker()
+    tracker.ingest(observations)
+    exposure = tracker.exposed_identities()
+
+    coverages = [
+        tracker.tracking_coverage(node.identity, cfg.sim_time, horizon=tracking_horizon)
+        for node in scenario.nodes
+    ]
+    routes = RouteTracer()
+    routes.ingest(observations)
+
+    return ExposureReport(
+        protocol=cfg.protocol,
+        frames_observed=len(observations),
+        doublets=len(tracker.doublets),
+        identities_exposed=len(exposure),
+        max_doublets_one_identity=max(exposure.values(), default=0),
+        mean_tracking_coverage=sum(coverages) / len(coverages),
+        pseudonym_sightings=tracker.pseudonym_sightings,
+        traceable_routes=len(routes.routes()),
+        identities_from_routes=routes.identities_learned(),
+    )
+
+
 def run_exposure_experiment(
     base: Optional[ScenarioConfig] = None,
     protocols: tuple[str, ...] = ("gpsr", "agfw"),
@@ -46,50 +79,32 @@ def run_exposure_experiment(
     num_nodes: int = 50,
     seed: int = 7,
     tracking_horizon: float = 5.0,
+    jobs: int = 1,
 ) -> List[ExposureReport]:
-    """Run the workload under each protocol with a global sniffer."""
+    """Run the workload under each protocol with a global sniffer.
+
+    Per-protocol runs are independent simulations, so ``jobs > 1`` fans
+    them over worker processes with output identical to the serial path
+    (both protocols use the same ``seed``, deliberately: the comparison
+    is "same workload, different protocol").
+    """
     template = base if base is not None else ScenarioConfig()
-    reports: List[ExposureReport] = []
-    for protocol in protocols:
-        cfg = replace(
-            template,
-            protocol=protocol,
-            num_nodes=num_nodes,
-            sim_time=sim_time,
-            seed=seed,
-            with_sniffer=True,
-            traffic_start=(1.0, min(10.0, sim_time / 4)),
-        )
-        scenario = Scenario(cfg)
-        scenario.run()
-        assert scenario.sniffer is not None
-        observations = scenario.sniffer.observations
-
-        tracker = DoubletTracker()
-        tracker.ingest(observations)
-        exposure = tracker.exposed_identities()
-
-        coverages = [
-            tracker.tracking_coverage(node.identity, sim_time, horizon=tracking_horizon)
-            for node in scenario.nodes
-        ]
-        routes = RouteTracer()
-        routes.ingest(observations)
-
-        reports.append(
-            ExposureReport(
+    tasks = [
+        (
+            replace(
+                template,
                 protocol=protocol,
-                frames_observed=len(observations),
-                doublets=len(tracker.doublets),
-                identities_exposed=len(exposure),
-                max_doublets_one_identity=max(exposure.values(), default=0),
-                mean_tracking_coverage=sum(coverages) / len(coverages),
-                pseudonym_sightings=tracker.pseudonym_sightings,
-                traceable_routes=len(routes.routes()),
-                identities_from_routes=routes.identities_learned(),
-            )
+                num_nodes=num_nodes,
+                sim_time=sim_time,
+                seed=seed,
+                with_sniffer=True,
+                traffic_start=(1.0, min(10.0, sim_time / 4)),
+            ),
+            tracking_horizon,
         )
-    return reports
+        for protocol in protocols
+    ]
+    return parallel_map(_run_exposure_point, tasks, jobs=jobs)
 
 
 def format_exposure(reports: List[ExposureReport]) -> str:

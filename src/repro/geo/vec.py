@@ -14,9 +14,14 @@ from typing import Iterable, Tuple
 __all__ = ["Position", "distance", "distance2", "midpoint", "bearing"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Position:
-    """An (x, y) point in metres."""
+    """An (x, y) point in metres.
+
+    ``slots=True``: positions are allocated once per distance check on the
+    medium's fan-out path; dropping the per-instance ``__dict__`` keeps
+    them cheap.
+    """
 
     x: float
     y: float

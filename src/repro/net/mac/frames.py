@@ -30,9 +30,9 @@ class FrameKind(Enum):
     ACK = "ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class MacFrame:
-    """One frame on the air."""
+    """One frame on the air (``slots=True``: hot-path allocation)."""
 
     kind: FrameKind
     src: MacAddress

@@ -14,14 +14,31 @@ A binary-interference (unit-disk) channel model in the NS-2 tradition:
 Node positions are sampled once per frame at transmission start; frames
 last << 10 ms while nodes move <= 20 m/s, so intra-frame motion is
 negligible.
+
+Fan-out cost
+------------
+AGFW traffic is broadcast-only at the MAC (no RTS/CTS), so per-frame
+fan-out is *the* hot path of every experiment.  By default the medium
+resolves fan-out through a :class:`~repro.geo.spatial.SpatialIndex`
+(uniform grid, cell = interference range, mobility-aware lazy
+rebucketing) instead of scanning every registered radio — O(radios in
+the neighbouring cells) instead of O(N), with **bit-identical**
+delivery/corruption outcomes.  ``index_mode`` selects:
+
+* ``"grid"``  — spatial index (default),
+* ``"brute"`` — the original full scan,
+* ``"cross"`` — run the index *and* verify it against the full scan on
+  every query, raising on any divergence (the equivalence regression
+  harness).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.geo.spatial import SpatialIndex
 from repro.geo.vec import Position
 from repro.net.mac.frames import MacFrame
 from repro.sim.engine import Simulator
@@ -30,14 +47,18 @@ from repro.sim.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.phy import PhyRadio
 
-__all__ = ["Transmission", "RadioMedium"]
+__all__ = ["Transmission", "RadioMedium", "INDEX_MODES"]
 
-_tx_uid = itertools.count(1)
+INDEX_MODES = ("grid", "brute", "cross")
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
-    """One frame in flight."""
+    """One frame in flight.
+
+    ``deliverable_to`` / ``corrupted_at`` are node-id *sets* — membership
+    is the only question receivers ever ask.
+    """
 
     uid: int
     sender_id: int
@@ -45,8 +66,8 @@ class Transmission:
     frame: MacFrame
     start: float
     end: float
-    corrupted_at: Dict[int, bool] = field(default_factory=dict)
-    deliverable_to: Dict[int, bool] = field(default_factory=dict)
+    corrupted_at: Set[int] = field(default_factory=set)
+    deliverable_to: Set[int] = field(default_factory=set)
 
     @property
     def duration(self) -> float:
@@ -67,24 +88,84 @@ class RadioMedium:
         tracer: Optional[Tracer] = None,
         radio_range: float = 250.0,
         interference_range: float = 550.0,
+        index_mode: str = "grid",
+        index_cell_size: Optional[float] = None,
+        index_refresh_quantum: Optional[float] = None,
     ) -> None:
         if interference_range < radio_range:
             raise ValueError("interference range must cover the radio range")
+        if index_mode not in INDEX_MODES:
+            raise ValueError(f"index_mode must be one of {INDEX_MODES}")
         self.sim = sim
         self.tracer = tracer
         self.radio_range = radio_range
         self.interference_range = interference_range
+        self.index_mode = index_mode
         self._radios: List["PhyRadio"] = []
         self._radio_range2 = radio_range * radio_range
         self._interference_range2 = interference_range * interference_range
         self.frames_sent = 0
+        # Per-medium so a second simulation in the same process restarts at
+        # uid 1 and trace output stays identical run-to-run (previously a
+        # module-global leaked state across Simulator instances).
+        self._tx_uid = itertools.count(1)
+        self._index: Optional[SpatialIndex] = None
+        if index_mode != "brute":
+            self._index = SpatialIndex(
+                cell_size=index_cell_size if index_cell_size is not None else interference_range,
+                refresh_quantum=index_refresh_quantum,
+            )
+        #: Static fan-out memo: sender node id -> (index version, sender
+        #: (x, y), affected radios in registration order, deliverable ids).
+        #: Consulted only while the index proves every radio static; any
+        #: membership change or teleport bumps the version and drops it.
+        self._fanout_memo: Dict[
+            int, Tuple[int, Tuple[float, float], List["PhyRadio"], FrozenSet[int]]
+        ] = {}
 
     def register(self, radio: "PhyRadio") -> None:
         self._radios.append(radio)
+        if self._index is not None:
+            self._index.add(radio, self.sim.now)
 
     @property
-    def radios(self) -> List["PhyRadio"]:
-        return list(self._radios)
+    def radios(self) -> Sequence["PhyRadio"]:
+        """All registered radios, in registration order.
+
+        A live read-only view (not a defensive copy — this sits on hot
+        paths); callers must not mutate it.
+        """
+        return self._radios
+
+    # ------------------------------------------------------------ candidates
+    def _candidates(self, center: Position, rng: float) -> Sequence["PhyRadio"]:
+        """Radios that may lie within ``rng`` of ``center`` (superset,
+        registration order), per the configured index mode."""
+        if self._index is None:
+            return self._radios
+        return self._index.candidates_within(center, rng, self.sim.now)
+
+    def _cross_check(
+        self,
+        center: Position,
+        rng: float,
+        selected: List["PhyRadio"],
+        exclude: Optional["PhyRadio"],
+    ) -> None:
+        """Verify an index-derived result against the brute-force scan."""
+        limit = rng * rng
+        brute = [
+            radio
+            for radio in self._radios
+            if radio is not exclude and radio.position.distance2_to(center) <= limit
+        ]
+        if brute != selected:  # object identity + order — the full contract
+            expected = [r.node_id for r in brute]
+            got = [r.node_id for r in selected]
+            raise RuntimeError(
+                "spatial index diverged from brute-force scan at "
+                f"t={self.sim.now:.9f}: expected {expected}, got {got}"
+            )
 
     # ------------------------------------------------------------- transmit
     def transmit(self, sender: "PhyRadio", frame: MacFrame, duration: float) -> Transmission:
@@ -96,7 +177,7 @@ class RadioMedium:
         now = self.sim.now
         sender_pos = sender.position
         tx = Transmission(
-            uid=next(_tx_uid),
+            uid=next(self._tx_uid),
             sender_id=sender.node_id,
             sender_pos=sender_pos,
             frame=frame,
@@ -120,15 +201,46 @@ class RadioMedium:
             )
 
         sender.begin_transmit(tx)
-        affected: List["PhyRadio"] = []
-        for radio in self._radios:
-            if radio is sender:
-                continue
-            d2 = radio.position.distance2_to(sender_pos)
-            if d2 <= self._interference_range2:
-                tx.deliverable_to[radio.node_id] = d2 <= self._radio_range2
+        radio_range2 = self._radio_range2
+        interference_range2 = self._interference_range2
+        index = self._index
+        # -1 disables the memo (brute mode, or some radio can move); the
+        # index version is read *before* the gather, so a concurrent
+        # invalidation would make the stored stamp compare stale — never
+        # the reverse.
+        memo_version = index.version if index is not None and index.all_static else -1
+        pos_key = (sender_pos.x, sender_pos.y)
+        cached = None
+        if memo_version >= 0:
+            cached = self._fanout_memo.get(sender.node_id)
+            if cached is not None and (cached[0] != memo_version or cached[1] != pos_key):
+                cached = None
+        if cached is not None:
+            affected = cached[2]
+            if cached[3]:
+                tx.deliverable_to.update(cached[3])
+            for radio in affected:
                 radio.on_tx_start(tx)
-                affected.append(radio)
+        else:
+            affected = []
+            for radio in self._candidates(sender_pos, self.interference_range):
+                if radio is sender:
+                    continue
+                d2 = radio.position.distance2_to(sender_pos)
+                if d2 <= interference_range2:
+                    if d2 <= radio_range2:
+                        tx.deliverable_to.add(radio.node_id)
+                    radio.on_tx_start(tx)
+                    affected.append(radio)
+            if memo_version >= 0:
+                # affected is shared with the memo but never mutated in
+                # place (recomputes build a fresh list), so in-flight
+                # _finish closures stay correct across invalidation.
+                self._fanout_memo[sender.node_id] = (
+                    memo_version, pos_key, affected, frozenset(tx.deliverable_to)
+                )
+        if self.index_mode == "cross":
+            self._cross_check(sender_pos, self.interference_range, affected, sender)
 
         def _finish() -> None:
             sender.end_transmit(tx)
@@ -143,8 +255,15 @@ class RadioMedium:
         """Radios within ``rng`` metres of ``radio`` (excluding itself)."""
         center = radio.position
         limit = rng * rng
-        return [
+        result = [
             other
-            for other in self._radios
+            for other in self._candidates(center, rng)
             if other is not radio and other.position.distance2_to(center) <= limit
         ]
+        if self.index_mode == "cross":
+            self._cross_check(center, rng, result, radio)
+        return result
+
+    def index_stats(self) -> Optional[dict]:
+        """Spatial-index telemetry (``None`` in brute-force mode)."""
+        return self._index.stats() if self._index is not None else None

@@ -13,7 +13,7 @@ one event per leg to roll the next waypoint.
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.geo.region import Region
 from repro.geo.vec import Position
@@ -35,10 +35,17 @@ class MobilityModel(Protocol):
 
 
 class StaticMobility:
-    """A node that never moves (static topologies, unit tests)."""
+    """A node that never moves (static topologies, unit tests).
+
+    :meth:`move_to` teleports — a discontinuity no speed bound can cover —
+    so consumers that cache positions (the medium's spatial index)
+    register a callback via :meth:`subscribe` and are notified on every
+    teleport.
+    """
 
     def __init__(self, position: Position) -> None:
         self._position = position
+        self._listeners: list[Callable[[], None]] = []
 
     def position_at(self, time: float) -> Position:
         return self._position
@@ -46,9 +53,15 @@ class StaticMobility:
     def velocity_at(self, time: float) -> tuple[float, float]:
         return (0.0, 0.0)
 
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run after every :meth:`move_to`."""
+        self._listeners.append(callback)
+
     def move_to(self, position: Position) -> None:
         """Teleport (topology manipulation in tests)."""
         self._position = position
+        for callback in self._listeners:
+            callback()
 
 
 class WaypointLeg:

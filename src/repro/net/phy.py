@@ -122,7 +122,7 @@ class PhyRadio:
         corrupted = tx.uid in self._corrupted
         self._corrupted.discard(tx.uid)
 
-        deliverable = tx.deliverable_to.get(self.node_id, False)
+        deliverable = self.node_id in tx.deliverable_to
         if deliverable and not corrupted:
             self.frames_delivered += 1
             if self.mac is not None:

@@ -6,22 +6,35 @@ schedule events against a single :class:`Simulator` instance.
 
 Design notes
 ------------
-* Events are kept in a binary heap ordered by ``(time, priority, seq)``.
-  The monotonically increasing sequence number makes ordering fully
-  deterministic: two events scheduled for the same instant fire in the
-  order they were scheduled (unless an explicit priority says otherwise).
-* Cancellation is *lazy*: :meth:`Simulator.cancel` marks the event and the
+* The heap holds ``(time, priority, seq, event)`` tuples.  Ordering is
+  decided entirely by the leading floats/ints — the monotonically
+  increasing sequence number is unique, so tuple comparison never reaches
+  the :class:`Event` object and the heap skips Python-level ``__lt__``
+  dispatch on every sift (a measurable win: the engine pushes/pops one
+  tuple per MAC timer, per frame, per mobility leg).
+* :class:`Event` is a ``__slots__`` class (no per-event ``__dict__``):
+  events are the most-allocated object in a run.
+* Cancellation is *lazy*: :meth:`Event.cancel` marks the event and the
   main loop skips cancelled entries when they surface.  This keeps both
-  ``schedule`` and ``cancel`` O(log n) / O(1).
+  ``schedule`` and ``cancel`` O(log n) / O(1).  A cached live-event
+  counter keeps :attr:`Simulator.pending_events` O(1) instead of an
+  O(n) queue scan.
 * Time is a float in **seconds** of simulated time.  MAC-level code deals
   in microseconds; helpers in :mod:`repro.net.mac.constants` convert.
+
+Clock contract of :meth:`Simulator.run`
+---------------------------------------
+``now`` is clamped to ``until`` **only when the horizon is actually
+reached** — the queue drained below ``until``, or the next event lies
+beyond it.  When the run is cut short by ``max_events`` or
+:meth:`Simulator.stop`, ``now`` stays at the last executed event so a
+subsequent ``run()`` resumes mid-stream without skipping simulated time.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -30,7 +43,6 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.
 
@@ -38,16 +50,31 @@ class Event:
     for cancellation.  They should not be constructed directly.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None]
-    name: str = ""
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "name", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        name: str = "",
+        _sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self._sim = _sim
 
     def cancel(self) -> None:
         """Mark this event so it is skipped when it reaches the queue head."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
     @property
     def pending(self) -> bool:
@@ -66,6 +93,10 @@ class Event:
         return f"Event({self.name or self.callback!r} @ {self.time:.6f}s, {state})"
 
 
+#: Heap entry: ordering fields first, the event payload last (never compared).
+_HeapEntry = Tuple[float, int, int, Event]
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -81,11 +112,12 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        self._queue: List[_HeapEntry] = []
         self._seq = 0
         self._running = False
         self._processed = 0
         self._stopped = False
+        self._live = 0  # non-cancelled events in the queue (O(1) pending count)
 
     # ------------------------------------------------------------------ time
     @property
@@ -100,8 +132,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including lazily cancelled)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of events still pending (cancelled ones excluded) — O(1)."""
+        return self._live
 
     # ------------------------------------------------------------- scheduling
     def schedule(
@@ -136,8 +168,9 @@ class Simulator:
                 f"cannot schedule at {time:.9f} < now {self._now:.9f}"
             )
         self._seq += 1
-        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, name=name)
-        heapq.heappush(self._queue, event)
+        event = Event(time, priority, self._seq, callback, name, _sim=self)
+        heapq.heappush(self._queue, (time, priority, self._seq, event))
+        self._live += 1
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -150,47 +183,66 @@ class Simulator:
         """Run until the queue empties, ``until`` is reached, or ``max_events`` fire.
 
         ``until`` is inclusive: events scheduled exactly at ``until`` execute.
-        After returning, :attr:`now` equals the time of the last executed
-        event, or ``until`` when a horizon was given and reached.
+
+        Clock contract (see module docstring): after returning,
+
+        * if the horizon was *reached* — the queue drained below ``until``
+          or the next pending event lies beyond it — :attr:`now` equals
+          ``until``;
+        * if the run stopped early via ``max_events`` or :meth:`stop`,
+          :attr:`now` stays at the time of the last executed event (events
+          at that very instant may still be pending) so that calling
+          :meth:`run` again resumes exactly where this run left off;
+        * with no horizon, :attr:`now` is the time of the last executed
+          event.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                event = self._queue[0]
+                time, _priority, _seq, event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(queue)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
+                heapq.heappop(queue)
+                self._now = time
                 event.cancelled = True  # consumed; handle can no longer cancel
+                self._live -= 1
                 event.callback()
                 self._processed += 1
                 executed += 1
             else:
-                if until is not None and self._now < until:
+                # Queue drained.  A drain *after* stop() still counts as an
+                # interrupted run: leave the clock at the last executed event
+                # so resumption scheduling stays relative to it.
+                if until is not None and not self._stopped and self._now < until:
                     self._now = until
         finally:
             self._running = False
 
     def stop(self) -> None:
-        """Stop the run loop after the current event finishes."""
+        """Stop the run loop after the current event finishes.
+
+        The clock stays at the interrupting event's time; :meth:`run` may
+        be called again to resume (see the clock contract above).
+        """
         self._stopped = True
 
     # ------------------------------------------------------------- inspection
     def iter_pending(self) -> Iterator[Event]:
         """Yield pending events in an unspecified order (inspection only)."""
-        return (e for e in self._queue if not e.cancelled)
+        return (entry[3] for entry in self._queue if not entry[3].cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}s, pending={self.pending_events})"

@@ -277,3 +277,84 @@ def test_det005_list_iteration_passes(tmp_path):
         select=["DET-005"],
     )
     assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-006
+def test_det006_module_level_itertools_count(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import itertools
+
+        _uid = itertools.count(1)
+
+        def fresh_uid():
+            return next(_uid)
+        """,
+        select=["DET-006"],
+    )
+    assert rule_ids(result) == ["DET-006"]
+    assert result.findings[0].line == 3
+    assert "outlives the Simulator" in result.findings[0].message
+
+
+def test_det006_from_import_count(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from itertools import count
+
+        _seq = count()
+        """,
+        select=["DET-006"],
+    )
+    assert rule_ids(result) == ["DET-006"]
+
+
+def test_det006_global_int_counter(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        _events = 0
+
+        def bump():
+            global _events
+            _events += 1
+            return _events
+        """,
+        select=["DET-006"],
+    )
+    assert rule_ids(result) == ["DET-006"]
+    assert "_events" in result.findings[0].message
+
+
+def test_det006_instance_counter_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import itertools
+
+        class Medium:
+            def __init__(self):
+                self._tx_uid = itertools.count(1)
+
+            def fresh(self):
+                return next(self._tx_uid)
+        """,
+        select=["DET-006"],
+    )
+    assert result.findings == []
+
+
+def test_det006_audited_uid_modules_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import itertools
+
+        _uid_counter = itertools.count(1)
+        """,
+        select=["DET-006"],
+        rel="src/repro/net/packet.py",
+    )
+    assert result.findings == []

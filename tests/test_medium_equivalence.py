@@ -1,0 +1,168 @@
+"""Grid-vs-brute equivalence and medium substrate regressions.
+
+The spatial index is only admissible because it is *outcome-invisible*:
+every scenario must produce bit-identical results under ``brute``,
+``grid``, and ``cross`` fan-out.  ``cross`` additionally asserts the
+equivalence on every single query inside the run, so one passing cross
+run is a per-transmission proof for that workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.geo.vec import Position
+from repro.net.medium import RadioMedium
+from repro.net.mobility import StaticMobility
+from repro.net.phy import PhyRadio
+from repro.sim.engine import Simulator
+from repro.net.addresses import BROADCAST, MacAddress
+from repro.net.mac.frames import FrameKind, MacFrame
+
+
+def _signature(result):
+    """Everything observable about a run except wallclock."""
+    return (
+        result.sent,
+        result.delivered,
+        result.frames_on_air,
+        result.collisions,
+        result.mean_latency,
+        sorted(result.bytes_by_kind.items()),
+        sorted(result.frames_by_kind.items()),
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("static", [True, False], ids=["static", "rwp"])
+def test_grid_brute_cross_identical_outcomes(seed, static):
+    base = dict(
+        protocol="agfw",
+        num_nodes=22,
+        sim_time=12.0,
+        seed=seed,
+        num_flows=6,
+        num_senders=5,
+        static=static,
+        # pause_time=0 keeps RWP nodes actually moving inside the short
+        # horizon, exercising the lazy-rebucketing path for real.
+        pause_time=0.0,
+        min_speed=5.0,
+    )
+    signatures = [
+        _signature(run_scenario(ScenarioConfig(medium_index=mode, **base)))
+        for mode in ("brute", "grid", "cross")
+    ]
+    assert signatures[0] == signatures[1] == signatures[2]
+    assert signatures[0][0] > 0  # the workload actually sent traffic
+
+
+def test_invalid_index_mode_rejected():
+    with pytest.raises(ValueError):
+        RadioMedium(Simulator(), index_mode="octree")
+
+
+# ----------------------------------------------------------- tx uid scope
+def test_tx_uids_restart_per_medium():
+    """Regression: the tx uid counter must live on the medium, not the
+    module — a second simulation in the same process restarts at 1."""
+
+    def first_uid() -> int:
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        radios = [
+            PhyRadio(sim, i, medium, StaticMobility(Position(float(i) * 100.0, 0.0)))
+            for i in range(2)
+        ]
+        frame = MacFrame(FrameKind.DATA, MacAddress(1), BROADCAST)
+        tx = medium.transmit(radios[0], frame, 1e-4)
+        sim.run()
+        return tx.uid
+
+    assert first_uid() == 1
+    assert first_uid() == 1  # the old module-global counter returned 2 here
+
+
+def test_radios_property_is_live_registration_order_view():
+    sim = Simulator()
+    medium = RadioMedium(sim)
+    radios = [
+        PhyRadio(sim, i, medium, StaticMobility(Position(float(i), 0.0)))
+        for i in range(3)
+    ]
+    assert list(medium.radios) == radios
+    extra = PhyRadio(sim, 3, medium, StaticMobility(Position(3.0, 0.0)))
+    assert list(medium.radios) == radios + [extra]  # live view, not a snapshot
+
+
+def test_transmission_membership_fields_are_sets():
+    sim = Simulator()
+    medium = RadioMedium(sim)
+    radios = [
+        PhyRadio(sim, i, medium, StaticMobility(Position(float(i) * 100.0, 0.0)))
+        for i in range(3)
+    ]
+    frame = MacFrame(FrameKind.DATA, MacAddress(1), BROADCAST)
+    tx = medium.transmit(radios[0], frame, 1e-4)
+    assert isinstance(tx.deliverable_to, set)
+    assert isinstance(tx.corrupted_at, set)
+    assert tx.deliverable_to == {1, 2}
+    sim.run()
+
+
+# -------------------------------------------------------- static fan-out memo
+def _bare_medium(index_mode="grid"):
+    sim = Simulator()
+    medium = RadioMedium(sim, index_mode=index_mode)
+    radios = [
+        PhyRadio(sim, i, medium, StaticMobility(Position(float(i) * 200.0, 0.0)))
+        for i in range(4)
+    ]
+    return sim, medium, radios
+
+
+def test_static_fanout_memo_reused_and_identical():
+    sim, medium, radios = _bare_medium()
+    frame = MacFrame(FrameKind.DATA, MacAddress(1), BROADCAST)
+    first = medium.transmit(radios[0], frame, 1e-4)
+    sim.run()
+    second = medium.transmit(radios[0], frame, 1e-4)
+    sim.run()
+    assert second.deliverable_to == first.deliverable_to
+    # The memo hit skips the index gather entirely: no new cache activity
+    # beyond the first transmission's.
+    stats = medium.index_stats()
+    assert stats is not None and stats["radios"] == 4
+
+
+def test_teleport_invalidates_static_fanout_memo():
+    sim, medium, radios = _bare_medium()
+    frame = MacFrame(FrameKind.DATA, MacAddress(1), BROADCAST)
+    first = medium.transmit(radios[0], frame, 1e-4)
+    sim.run()
+    assert first.deliverable_to == {1}  # only the 200 m neighbour decodes
+    # Teleport radio 3 from 600 m (out of range) to 100 m (in range).
+    radios[3].mobility.move_to(Position(100.0, 0.0))
+    second = medium.transmit(radios[0], frame, 1e-4)
+    sim.run()
+    assert second.deliverable_to == {1, 3}
+
+
+def test_memo_disabled_while_any_radio_mobile_cross_checked():
+    """With a mobile radio present the memo must stay off; run in cross
+    mode so every fan-out is verified against brute force."""
+    cfg = ScenarioConfig(
+        protocol="agfw",
+        num_nodes=12,
+        sim_time=6.0,
+        seed=5,
+        num_flows=4,
+        num_senders=3,
+        static=False,
+        pause_time=0.0,
+        min_speed=5.0,
+        medium_index="cross",
+    )
+    result = run_scenario(cfg)
+    assert result.sent > 0  # cross mode raised nowhere: equivalence held

@@ -1,0 +1,133 @@
+"""Parallel sweep execution: order preservation and byte-identity.
+
+The contract sold by ``--jobs``: the formatted output of every
+experiment is byte-identical for any job count.  That holds because (a)
+each point is an independent simulation whose randomness is a pure
+function of its config, and (b) :func:`repro.experiments.parallel.
+parallel_map` returns results in submission order.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.parallel import parallel_map
+from repro.experiments.runner import main as runner_main
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise RuntimeError(f"worker failure on {x}")
+
+
+# ------------------------------------------------------------ parallel_map
+def test_parallel_map_preserves_order_inline():
+    assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+
+def test_parallel_map_preserves_order_pooled():
+    items = list(range(20))
+    assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+
+def test_parallel_map_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1], jobs=0)
+
+
+def test_parallel_map_single_item_runs_inline():
+    # One item never spins up a pool (worth asserting: pool startup for a
+    # single point would dominate small sweeps).
+    assert parallel_map(_square, [5], jobs=8) == [25]
+
+
+def test_parallel_map_propagates_worker_errors():
+    with pytest.raises(RuntimeError, match="worker failure"):
+        parallel_map(_boom, [1, 2], jobs=2)
+
+
+# ------------------------------------------------------------- experiments
+def test_fig1_points_identical_serial_vs_parallel():
+    kwargs = dict(node_counts=(12, 16), schemes=("agfw",), sim_time=3.0, seed=9)
+    serial = run_fig1(jobs=1, **kwargs)
+    pooled = run_fig1(jobs=2, **kwargs)
+    assert serial == pooled  # Fig1Point is a frozen dataclass: full equality
+
+
+def test_runner_output_byte_identical_across_jobs(capsys):
+    argv = ["--sim-time", "3", "--nodes", "12", "--skip", "als", "exposure"]
+    assert runner_main(argv + ["--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert runner_main(argv + ["--jobs", "3"]) == 0
+    pooled_out = capsys.readouterr().out
+    assert serial_out == pooled_out
+    assert "Figure 1(a)" in serial_out
+
+
+# ------------------------------------------------------------ bench harness
+def _load_bench_to_json():
+    path = pathlib.Path(__file__).parent.parent / "benchmarks" / "bench_to_json.py"
+    spec = importlib.util.spec_from_file_location("bench_to_json", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc(means: dict) -> dict:
+    return {
+        "schema_version": 1,
+        "suite": "substrate",
+        "benchmarks": {
+            name: {"mean_s": mean, "stddev_s": 0.0, "rounds": 5}
+            for name, mean in means.items()
+        },
+        "derived": {},
+    }
+
+
+def test_bench_distill_schema_and_derived_speedup():
+    harness = _load_bench_to_json()
+    raw = {
+        "benchmarks": [
+            {
+                "name": "test_medium_fanout_150_nodes[brute]",
+                "stats": {"mean": 0.060, "stddev": 0.001, "rounds": 10},
+            },
+            {
+                "name": "test_medium_fanout_150_nodes[grid]",
+                "stats": {"mean": 0.015, "stddev": 0.001, "rounds": 40},
+            },
+        ]
+    }
+    document = harness.distill(raw)
+    assert document["schema_version"] == harness.SCHEMA_VERSION
+    assert document["suite"] == "substrate"
+    assert document["derived"]["fanout_speedup_150_nodes"] == 4.0
+
+
+def test_bench_compare_flags_regressions_only():
+    harness = _load_bench_to_json()
+    baseline = _doc({"a": 0.010, "b": 0.010})
+    improved_and_regressed = _doc({"a": 0.009, "b": 0.025})
+    failures = harness.compare(improved_and_regressed, baseline, max_regression=2.0)
+    assert len(failures) == 1
+    assert failures[0].startswith("b:")
+    assert harness.compare(improved_and_regressed, baseline, max_regression=3.0) == []
+
+
+def test_committed_baseline_meets_speedup_floor():
+    """The acceptance criterion lives in the committed artifact: the
+    recorded grid-vs-brute fan-out speedup at 150 nodes must be >= 3x."""
+    import json
+
+    path = pathlib.Path(__file__).parent.parent / "benchmarks" / "BENCH_substrate.json"
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document["schema_version"] == 1
+    assert document["derived"]["fanout_speedup_150_nodes"] >= 3.0

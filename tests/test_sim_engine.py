@@ -203,3 +203,69 @@ def test_many_events_heap_stress(sim):
         sim.schedule(t, lambda t=t: fired.append(t))
     sim.run()
     assert fired == sorted(times)
+
+
+# ------------------------------------------------------- clock contract
+def test_max_events_does_not_clamp_to_until(sim):
+    """Cut short by max_events with work still pending below the horizon:
+    the clock must stay at the last executed event, not jump to until."""
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(until=10.0, max_events=2)
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+
+
+def test_max_events_resume_continues_mid_stream(sim):
+    fired = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(max_events=1)
+    sim.run(max_events=2)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+    assert sim.now == 4.0
+
+
+def test_until_clamps_when_next_event_beyond_horizon(sim):
+    """Horizon genuinely reached (next event lies beyond it): clamp."""
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+
+
+def test_stop_then_rerun_resumes_without_time_skip(sim):
+    fired = []
+
+    def stopper():
+        fired.append(sim.now)
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(1.0, lambda: fired.append(sim.now))  # same instant, later seq
+    sim.schedule(2.0, lambda: fired.append(sim.now))
+    sim.run(until=10.0)
+    # Interrupted at t=1: the same-instant sibling has not fired yet and
+    # the clock has not been clamped to the horizon.
+    assert fired == [1.0]
+    assert sim.now == 1.0
+    assert sim.pending_events == 2
+    sim.run(until=10.0)
+    assert fired == [1.0, 1.0, 2.0]
+    assert sim.now == 10.0
+
+
+def test_schedule_between_stop_and_resume(sim):
+    """stop() leaves the clock un-clamped, so follow-up scheduling relative
+    to now lands where the interrupted timeline expects it."""
+    sim.schedule(1.0, sim.stop)
+    sim.run(until=4.0)
+    assert sim.now == 1.0
+    fired = []
+    sim.schedule(0.5, lambda: fired.append(sim.now))
+    sim.run(until=4.0)
+    assert fired == [1.5]
+    assert sim.now == 4.0
