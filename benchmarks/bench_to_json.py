@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Run the substrate benchmarks and emit a slim, versioned JSON baseline.
+"""Run a benchmark suite and emit a slim, versioned JSON baseline.
 
 ``pytest-benchmark``'s native ``--benchmark-json`` output is rich but
 noisy (hostnames, timestamps, per-round samples) — unsuitable for
-committing and diffing.  This harness runs the suite, distills it to a
+committing and diffing.  This harness runs a suite, distills it to a
 stable machine-readable document, and can compare a fresh run against a
 committed baseline:
 
-    # regenerate the committed baseline
+    # regenerate the committed baselines
     python benchmarks/bench_to_json.py --output benchmarks/BENCH_substrate.json
+    python benchmarks/bench_to_json.py --suite crypto \\
+        --output benchmarks/BENCH_crypto.json
 
     # CI smoke: fresh run, fail if any benchmark slowed >2x vs baseline
     python benchmarks/bench_to_json.py --output /tmp/bench_now.json \\
@@ -18,13 +20,21 @@ Output schema (``schema_version`` 1)::
 
     {
       "schema_version": 1,
-      "suite": "substrate",
+      "suite": "substrate" | "crypto",
       "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...}},
-      "derived": {"fanout_speedup_150_nodes": <brute mean / grid mean>}
+      "derived": {"<metric>": <numerator mean / denominator mean>}
     }
 
-Absolute means are hardware-dependent; the *ratios* (the derived speedup
-and the regression comparison) are what the numbers are for.
+Absolute means are hardware-dependent; the *ratios* (the derived
+speedups and the regression comparison) are what the numbers are for.
+
+Suites:
+
+* ``substrate`` — medium fan-out / engine throughput (PR 2); derived
+  ``fanout_speedup_150_nodes`` (grid vs brute).
+* ``crypto`` — RSA/ring/trapdoor primitives plus the crypto fast path
+  (PR 3); derived cached-vs-uncached speedups for the hello-verify and
+  trapdoor-open workloads and the CRT precompute micro-benchmark.
 """
 
 from __future__ import annotations
@@ -37,24 +47,52 @@ import sys
 import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BENCH_FILE = pathlib.Path(__file__).resolve().parent / "bench_simulator.py"
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
 SCHEMA_VERSION = 1
 
-#: Derived ratio metrics: name -> (numerator benchmark, denominator benchmark).
-DERIVED = {
-    "fanout_speedup_150_nodes": (
-        "test_medium_fanout_150_nodes[brute]",
-        "test_medium_fanout_150_nodes[grid]",
-    ),
+#: Per-suite benchmark file and derived ratio metrics
+#: (name -> (numerator benchmark, denominator benchmark)).
+SUITES: dict[str, dict] = {
+    "substrate": {
+        "file": "bench_simulator.py",
+        "derived": {
+            "fanout_speedup_150_nodes": (
+                "test_medium_fanout_150_nodes[brute]",
+                "test_medium_fanout_150_nodes[grid]",
+            ),
+        },
+    },
+    "crypto": {
+        "file": "bench_crypto_costs.py",
+        "derived": {
+            "hello_verify_cached_speedup": (
+                "test_hello_verify_ring5_10_receivers[off]",
+                "test_hello_verify_ring5_10_receivers[on]",
+            ),
+            "trapdoor_open_cached_speedup": (
+                "test_trapdoor_open_region10[off]",
+                "test_trapdoor_open_region10[on]",
+            ),
+            "crt_precompute_speedup": (
+                "test_rsa512_private_apply[recompute]",
+                "test_rsa512_private_apply[precomputed]",
+            ),
+        },
+    },
 }
 
+#: Backward-compatible aliases (pre-multi-suite callers/tests).
+BENCH_FILE = BENCH_DIR / SUITES["substrate"]["file"]
+DERIVED = SUITES["substrate"]["derived"]
 
-def run_suite(pytest_args: list[str] | None = None) -> dict:
-    """Run the benchmark suite; return pytest-benchmark's raw JSON."""
+
+def run_suite(pytest_args: list[str] | None = None, suite: str = "substrate") -> dict:
+    """Run one benchmark suite; return pytest-benchmark's raw JSON."""
+    bench_file = BENCH_DIR / SUITES[suite]["file"]
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = pathlib.Path(tmp) / "raw.json"
         cmd = [
-            sys.executable, "-m", "pytest", str(BENCH_FILE),
+            sys.executable, "-m", "pytest", str(bench_file),
             "-q", "-p", "no:cacheprovider",
             "--benchmark-only",
             f"--benchmark-json={raw_path}",
@@ -65,7 +103,7 @@ def run_suite(pytest_args: list[str] | None = None) -> dict:
         return json.loads(raw_path.read_text(encoding="utf-8"))
 
 
-def distill(raw: dict) -> dict:
+def distill(raw: dict, suite: str = "substrate") -> dict:
     """Reduce pytest-benchmark's document to the committed schema."""
     benchmarks: dict[str, dict] = {}
     for bench in raw.get("benchmarks", []):
@@ -76,14 +114,14 @@ def distill(raw: dict) -> dict:
             "rounds": stats["rounds"],
         }
     derived: dict[str, float] = {}
-    for metric, (numerator, denominator) in DERIVED.items():
+    for metric, (numerator, denominator) in SUITES[suite]["derived"].items():
         num = benchmarks.get(numerator)
         den = benchmarks.get(denominator)
         if num and den and den["mean_s"] > 0:
             derived[metric] = round(num["mean_s"] / den["mean_s"], 3)
     return {
         "schema_version": SCHEMA_VERSION,
-        "suite": "substrate",
+        "suite": suite,
         "benchmarks": dict(sorted(benchmarks.items())),
         "derived": derived,
     }
@@ -126,6 +164,10 @@ def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite", choices=sorted(SUITES), default="substrate",
+        help="which benchmark suite to run/distill (default: substrate)",
+    )
+    parser.add_argument(
         "--output", type=pathlib.Path, default=None,
         help="where to write the distilled JSON (default: stdout)",
     )
@@ -146,9 +188,9 @@ def main(argv: list[str] | None = None) -> int:
     raw = (
         json.loads(args.from_raw.read_text(encoding="utf-8"))
         if args.from_raw is not None
-        else run_suite()
+        else run_suite(suite=args.suite)
     )
-    document = distill(raw)
+    document = distill(raw, args.suite)
     text = json.dumps(document, indent=2, sort_keys=False) + "\n"
     if args.output is not None:
         args.output.write_text(text, encoding="utf-8")
@@ -162,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(
                 f"baseline schema_version {baseline.get('schema_version')!r} "
                 f"!= expected {SCHEMA_VERSION}"
+            )
+        if baseline.get("suite", args.suite) != args.suite:
+            raise SystemExit(
+                f"baseline is for suite {baseline.get('suite')!r}, "
+                f"not {args.suite!r}"
             )
         failures = compare(document, baseline, args.max_regression)
         if failures:

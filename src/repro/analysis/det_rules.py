@@ -18,6 +18,10 @@ DET-005     iteration over a bare ``set`` where order can leak into
 DET-006     module-level mutable counters (``itertools.count`` at module
             scope, ``global`` int bumps) leaking state across Simulator
             instances in one process
+DET-007     module-level mutable memo caches (empty dict/OrderedDict/
+            defaultdict at module scope, ``functools.lru_cache``/
+            ``functools.cache``) outside the audited
+            ``repro.crypto.cache`` module
 ==========  ===========================================================
 """
 
@@ -35,6 +39,7 @@ __all__ = [
     "FloatTimeEquality",
     "SetIterationOrder",
     "ModuleLevelCounter",
+    "ModuleLevelMemoCache",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -493,3 +498,121 @@ class ModuleLevelCounter(Rule):
                         "that persists across Simulator instances; move it "
                         "onto the owning object",
                     )
+
+
+#: Constructors whose module-level result is an (initially empty) mutable
+#: mapping — the storage shape of an accumulator/memo cache.  Populated
+#: dict *literals* are deliberately not flagged: those are lookup tables.
+_CACHE_CONSTRUCTORS = frozenset({"dict", "OrderedDict", "defaultdict", "WeakValueDictionary"})
+
+#: functools decorators/calls that attach process-lifetime memo storage.
+_FUNCTOOLS_MEMO = frozenset({"lru_cache", "cache"})
+
+
+@register
+class ModuleLevelMemoCache(Rule):
+    """DET-007: module-level mutable memo caches outside ``repro.crypto.cache``.
+
+    The crypto fast path (PR 3) memoizes verification/open results in
+    *audited* module-level caches: every stored value is a pure function
+    of its key and hits charge the same virtual-time cost as misses, so
+    cross-Simulator persistence is provably outcome-invisible, and the
+    equivalence suite re-proves it each run.  The same storage pattern
+    anywhere else is the DET-006 footgun with a dict instead of a
+    counter: state leaking across runs in one process, invisible to the
+    RngRegistry, with no proof obligation attached.  Flagged shapes:
+
+    * an *empty* mutable mapping bound at module scope
+      (``_cache = {}``, ``dict()``, ``OrderedDict()``, ``defaultdict(..)``)
+      — populated dict literals are lookup tables and pass;
+    * ``functools.lru_cache`` / ``functools.cache`` anywhere in the
+      module (they attach process-lifetime memo storage to a function).
+
+    Either move the cache onto the owning instance, or route it through
+    :func:`repro.crypto.cache.memo` where the invariants are enforced
+    and hit/miss counters are exported.
+    """
+
+    id = "DET-007"
+    name = "module-level-memo-cache"
+    rationale = (
+        "Module-level mutable caches persist across Simulator instances; "
+        "unless values are pure functions of keys AND costs are charged "
+        "identically on hit and miss (the audited repro.crypto.cache "
+        "contract), a second same-seed run in one process diverges."
+    )
+    exempt_paths = (
+        "crypto/cache.py",  # the audited fast-path module itself
+        "tests/*",
+        "test_*.py",
+        "conftest.py",
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        # (a) module-scope empty mutable mappings.
+        for stmt in module.tree.body:
+            targets: Tuple[ast.AST, ...] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = tuple(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = (stmt.target,), stmt.value
+            if value is None or not targets:
+                continue
+            if self._is_empty_mutable_mapping(module, value):
+                names = ", ".join(
+                    t.id for t in targets if isinstance(t, ast.Name)
+                ) or "<target>"
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"module-level mutable cache '{names}' outlives the "
+                    "Simulator; hold it on the owning instance or register "
+                    "it via repro.crypto.cache.memo (the audited exception)",
+                )
+        # (b) functools.lru_cache / functools.cache anywhere — as a call
+        # (``@lru_cache(maxsize=..)``) or a bare decorator (``@cache``).
+        for node in ast.walk(module.tree):
+            refs: Tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.Call):
+                refs = (node.func,)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Bare decorators only: decorator *calls* are ast.Call
+                # nodes and already reported by the branch above.
+                refs = tuple(
+                    dec for dec in node.decorator_list
+                    if not isinstance(dec, ast.Call)
+                )
+            for ref in refs:
+                target = self._functools_memo_target(module, ref)
+                if target is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"functools.{target} attaches process-lifetime memo "
+                        "storage; use repro.crypto.cache.memo (bounded, "
+                        "counted, cross-checkable) or an instance-held cache",
+                    )
+
+    @staticmethod
+    def _functools_memo_target(module: ModuleContext, ref: ast.AST) -> Optional[str]:
+        """The ``functools`` memo name ``ref`` resolves to, else ``None``."""
+        target = _resolve_call_target(module, ref)
+        if target is not None and target[0] == "functools" and target[1] in _FUNCTOOLS_MEMO:
+            return target[1]
+        return None
+
+    @staticmethod
+    def _is_empty_mutable_mapping(module: ModuleContext, value: ast.AST) -> bool:
+        if isinstance(value, ast.Dict):
+            return not value.keys  # ``{}``; populated literals are tables
+        if not isinstance(value, ast.Call):
+            return False
+        name = _terminal_identifier(value.func)
+        if name not in _CACHE_CONSTRUCTORS:
+            return False
+        # ``dict(existing)`` / ``dict(a=1)`` copies are tables, not caches;
+        # ``defaultdict(list)`` takes a factory and is still an empty cache.
+        if name == "dict" and (value.args or value.keywords):
+            return False
+        return True

@@ -19,7 +19,9 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.crypto.cache import RING_VERIFY, memo, validate_cache_mode
 from repro.crypto.certificates import Certificate, CertificateAuthority, KeyStore
+from repro.crypto.hashing import sha256
 from repro.crypto.ring_signature import RingSignature, ring_sign, ring_verify
 from repro.crypto.timing import DEFAULT_COST_MODEL, CryptoCostModel
 from repro.core.config import AantConfig
@@ -117,6 +119,7 @@ class AantAuthenticator:
         keystore: Optional[KeyStore] = None,
         ca: Optional[CertificateAuthority] = None,
         rng: Optional[random.Random] = None,
+        cache_mode: str = "on",
     ) -> None:
         if mode not in ("modeled", "real"):
             raise ValueError(f"unknown AANT mode {mode!r}")
@@ -127,6 +130,10 @@ class AantAuthenticator:
         self.cost = cost_model
         self.keystore = keystore
         self.ca = ca
+        #: Crypto fast path switch ("on" | "off" | "cross"); hits and
+        #: misses charge identical CryptoCostModel delays, so the mode
+        #: never changes simulated outcomes (see repro.crypto.cache).
+        self.cache_mode = validate_cache_mode(cache_mode)
         #: Only real-mode *signing* draws randomness (decoy picking, ring
         #: glue); verification is deterministic, so the rng stays optional
         #: and :meth:`sign_hello` rejects a missing one at use.
@@ -188,16 +195,25 @@ class AantAuthenticator:
         order; when omitted, the verifier resolves subjects through its
         own keystore cache (paper: serials suffice once caches are warm).
         Returns ``(valid, processing_delay_seconds)``.
+
+        Delay accounting: the full ``ring_verify_cost`` is charged only
+        once every ring member's certificate is resolvable — a verifier
+        that bails out before touching any modular arithmetic (missing
+        attachment/signature, unknown decoy, truncated ring) has done no
+        cryptographic work and charges nothing.  The earlier behaviour
+        (charging up front, then returning early) overstated the CPU
+        price of cold-cache hellos.
         """
         if attachment is None:
             return False, 0.0
-        delay = self.cost.ring_verify_cost(max(attachment.ring_size, 1))
         if self.mode == "modeled":
-            return attachment.modeled_valid, delay
+            return attachment.modeled_valid, self.cost.ring_verify_cost(
+                max(attachment.ring_size, 1)
+            )
 
         assert self.keystore is not None and self.ca is not None
         if attachment.signature is None:
-            return False, delay
+            return False, 0.0
         certs: List[Certificate] = []
         if cert_lookup is not None:
             certs = list(cert_lookup)
@@ -205,15 +221,40 @@ class AantAuthenticator:
             for subject in attachment.ring_subjects:
                 cached = self.keystore.get(subject)
                 if cached is None:
-                    return False, delay  # unknown decoy: request-and-retry omitted
+                    return False, 0.0  # unknown decoy: request-and-retry omitted
                 certs.append(cached)
         if len(certs) != attachment.ring_size:
-            return False, delay
+            return False, 0.0
+        # All members resolvable: the cryptographic work happens (or is
+        # memoized — either way the same virtual time is charged).
+        delay = self.cost.ring_verify_cost(max(attachment.ring_size, 1))
         if not all(self.ca.verify(cert) for cert in certs):
             return False, delay
         message = hello_signing_bytes(pseudonym, position, timestamp)
-        valid = ring_verify(message, [c.public_key for c in certs], attachment.signature)
+        valid = self._ring_verify_cached(
+            message, [c.public_key for c in certs], attachment.signature
+        )
         return valid, delay
+
+    def _ring_verify_cached(
+        self, message: bytes, keys: List, signature: RingSignature
+    ) -> bool:
+        """RST ring verification through the deterministic memo cache.
+
+        The key covers every input ``ring_verify`` reads: the message
+        digest, the ring's public-key fingerprints *in order* (order is
+        significant for RST), and the signature bytes.
+        """
+        key = (
+            sha256(message),
+            tuple(k.fingerprint() for k in keys),
+            sha256(signature.to_bytes()),
+        )
+        return memo(RING_VERIFY).get_or_compute(
+            key,
+            lambda: ring_verify(message, keys, signature),
+            self.cache_mode,
+        )
 
     # ---------------------------------------------------------- cert fetch
     def missing_subjects(self, attachment: Optional[AantAttachment]) -> Tuple[str, ...]:

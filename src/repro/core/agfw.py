@@ -156,7 +156,10 @@ class AgfwRouter(BaseRouter):
         self.strategy = STRATEGIES[config.next_hop_strategy]
         self.authenticator = authenticator
         self.trapdoors = trapdoor_factory or TrapdoorFactory(
-            config.crypto_mode, config.cost_model, node.rng("trapdoor")
+            config.crypto_mode,
+            config.cost_model,
+            node.rng("trapdoor"),
+            cache_mode=config.crypto_cache_mode,
         )
         self.acks = AckManager(
             self.sim,

@@ -174,6 +174,7 @@ class AlsAgent:
         cost_model: CryptoCostModel = DEFAULT_COST_MODEL,
         trapdoor_factory: Optional[TrapdoorFactory] = None,
         install: bool = True,
+        cache_mode: str = "on",
     ) -> None:
         if mode not in ("modeled", "real"):
             raise ValueError(f"unknown ALS mode {mode!r}")
@@ -185,7 +186,7 @@ class AlsAgent:
         self.mode = mode
         self.cost = cost_model
         self.sealer = trapdoor_factory or TrapdoorFactory(
-            mode, cost_model, node.rng("als")
+            mode, cost_model, node.rng("als"), cache_mode=cache_mode
         )
         self._rng: random.Random = node.rng("als.proto")
         self.potential_senders: List[str] = []

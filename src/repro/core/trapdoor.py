@@ -25,6 +25,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.crypto.cache import TRAPDOOR_OPEN, memo, validate_cache_mode
+from repro.crypto.hashing import sha256 as _sha256
 from repro.crypto.rsa import DecryptionError, RsaPrivateKey, RsaPublicKey
 from repro.crypto.timing import DEFAULT_COST_MODEL, CryptoCostModel
 from repro.geo.vec import Position
@@ -84,11 +86,18 @@ class TrapdoorFactory:
         mode: str = "modeled",
         cost_model: CryptoCostModel = DEFAULT_COST_MODEL,
         rng: Optional[random.Random] = None,
+        cache_mode: str = "on",
     ) -> None:
         if mode not in ("modeled", "real"):
             raise ValueError(f"unknown trapdoor mode {mode!r}")
         self.mode = mode
         self.cost = cost_model
+        #: Crypto fast path switch ("on" | "off" | "cross").  Opening a
+        #: trapdoor is a pure function of (private key, ciphertext), so
+        #: memoized opens — including *negative* ones, the common case
+        #: for every non-destination node in the last-hop region — are
+        #: outcome-identical; the pk_decrypt delay is charged either way.
+        self.cache_mode = validate_cache_mode(cache_mode)
         #: Only ``real`` mode draws randomness (PKCS#1 padding); the rng
         #: stays optional so modeled factories need no stream, but real
         #: sealing without one is rejected at use (see :meth:`seal`).
@@ -144,15 +153,33 @@ class TrapdoorFactory:
         if self.mode == "real":
             if private_key is None or trapdoor.ciphertext is None:
                 return None, delay
-            try:
-                plaintext = private_key.decrypt(trapdoor.ciphertext)
-            except DecryptionError:
-                return None, delay
-            contents = self._unpack(plaintext)
+            ciphertext = trapdoor.ciphertext
+            key = (private_key.public_fingerprint, _sha256(ciphertext))
+            contents = memo(TRAPDOOR_OPEN).get_or_compute(
+                key,
+                lambda: self._open_real(ciphertext, private_key),
+                self.cache_mode,
+            )
             return contents, delay
         if trapdoor._sealed_for == own_identity:
             return trapdoor._contents, delay
         return None, delay
+
+    @classmethod
+    def _open_real(
+        cls, ciphertext: bytes, private_key: RsaPrivateKey
+    ) -> Optional[TrapdoorContents]:
+        """The uncached open attempt: decrypt, check the tag, unpack.
+
+        Pure in ``(private_key, ciphertext)`` — exactly what the memo key
+        covers — and returns ``None`` both for "not for us" and for
+        malformed plaintexts, so negative results memoize too.
+        """
+        try:
+            plaintext = private_key.decrypt(ciphertext)
+        except DecryptionError:
+            return None
+        return cls._unpack(plaintext)
 
     # ------------------------------------------------------------- packing
     @staticmethod

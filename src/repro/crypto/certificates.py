@@ -15,9 +15,11 @@ provides that PKI substrate:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.crypto.cache import CERT_VERIFY, memo, validate_cache_mode
+from repro.crypto.hashing import sha256
 from repro.crypto.rsa import (
     CryptoError,
     RsaPrivateKey,
@@ -47,6 +49,19 @@ class Certificate:
     not_before: float
     not_after: float
     signature: bytes
+    #: Lazily cached :meth:`fingerprint` (excluded from eq/hash/repr).
+    _fp: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def fingerprint(self) -> bytes:
+        """A stable digest over the full certificate (TBS body + signature).
+
+        Keys the CA-verification memo cache: two certificates with equal
+        fingerprints are byte-identical, so a cached verification verdict
+        transfers exactly.  Computed once per instance.
+        """
+        if self._fp is None:
+            object.__setattr__(self, "_fp", sha256(self.tbs_bytes(), self.signature))
+        return self._fp  # type: ignore[return-value]
 
     def tbs_bytes(self) -> bytes:
         """The to-be-signed canonical serialization."""
@@ -104,6 +119,7 @@ class CertificateAuthority:
         name: str = "repro-ca",
         key_bits: int = 768,
         rng: Optional[random.Random] = None,
+        cache_mode: str = "on",
     ) -> None:
         if rng is None:
             raise ValueError(
@@ -112,15 +128,17 @@ class CertificateAuthority:
                 "from the master seed"
             )
         self.name = name
+        self.cache_mode = validate_cache_mode(cache_mode)
         self._rng = rng
         self._key = generate_keypair(key_bits, self._rng)
+        self._public_key = self._key.public()  # one instance, cached fingerprint
         self._next_serial = 1
         self._issued: Dict[int, Certificate] = {}
         self._revoked: set[int] = set()
 
     @property
     def public_key(self) -> RsaPublicKey:
-        return self._key.public()
+        return self._public_key
 
     def issue(
         self,
@@ -163,14 +181,27 @@ class CertificateAuthority:
         return serial in self._revoked
 
     def verify(self, cert: Certificate, at_time: Optional[float] = None) -> bool:
-        """Check signature, issuer, validity window, and revocation."""
+        """Check signature, issuer, validity window, and revocation.
+
+        Only the expensive, *pure* part — the RSA signature check over
+        the certificate bytes — is memoized (keyed by the CA key's
+        fingerprint and the certificate's digest).  Revocation and
+        validity-window checks are stateful/time-dependent and always
+        run fresh, so revoking a certificate takes effect immediately
+        even with a warm cache.
+        """
         if cert.issuer != self.name:
             return False
         if cert.serial in self._revoked:
             return False
         if at_time is not None and not cert.is_valid_at(at_time):
             return False
-        return self.public_key.verify(cert.tbs_bytes(), cert.signature)
+        key = (self.public_key.fingerprint(), cert.fingerprint())
+        return memo(CERT_VERIFY).get_or_compute(
+            key,
+            lambda: self.public_key.verify(cert.tbs_bytes(), cert.signature),
+            self.cache_mode,
+        )
 
 
 class KeyStore:

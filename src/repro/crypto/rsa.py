@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.crypto.hashing import sha256
@@ -73,6 +73,10 @@ class RsaPublicKey:
 
     n: int
     e: int
+    #: Lazily cached :meth:`fingerprint` (excluded from eq/hash/repr);
+    #: fingerprints key the crypto memo caches, so recomputing the
+    #: serialization + SHA-256 on every lookup would tax the fast path.
+    _fp: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def bits(self) -> int:
@@ -89,8 +93,14 @@ class RsaPublicKey:
         return self.byte_size - _MIN_PAD - 3
 
     def fingerprint(self) -> bytes:
-        """A stable 8-byte identifier for the key (used in certificates)."""
-        return sha256(self.to_bytes())[:8]
+        """A stable 8-byte identifier for the key (used in certificates).
+
+        Computed once per instance and cached: the value is a pure
+        function of the frozen ``(n, e)`` fields.
+        """
+        if self._fp is None:
+            object.__setattr__(self, "_fp", sha256(self.to_bytes())[:8])
+        return self._fp  # type: ignore[return-value]
 
     def to_bytes(self) -> bytes:
         """Canonical serialization (length-prefixed n and e)."""
@@ -153,16 +163,42 @@ class RsaPublicKey:
 
 @dataclass(frozen=True)
 class RsaPrivateKey:
-    """An RSA private key; carries the factorization for completeness."""
+    """An RSA private key; carries the factorization for completeness.
+
+    The CRT parameters (``dp``, ``dq``, ``q_inv``) and the public-key
+    fingerprint are derived once at construction: they are pure
+    functions of the key material, and recomputing the modular inverse
+    ``pow(q, -1, p)`` inside every :meth:`apply` call wasted a
+    meaningful slice of each private-key operation (the per-op win is
+    pinned by ``benchmarks/bench_crypto_costs.py``).
+    """
 
     n: int
     e: int
     d: int
     p: int
     q: int
+    # One-time precomputation (excluded from eq/hash/repr; set in
+    # __post_init__ via object.__setattr__ because the class is frozen).
+    _dp: int = field(init=False, repr=False, compare=False)
+    _dq: int = field(init=False, repr=False, compare=False)
+    _q_inv: int = field(init=False, repr=False, compare=False)
+    _pub_fp: bytes = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_dp", self.d % (self.p - 1))
+        object.__setattr__(self, "_dq", self.d % (self.q - 1))
+        object.__setattr__(self, "_q_inv", pow(self.q, -1, self.p))
+        object.__setattr__(self, "_pub_fp", RsaPublicKey(self.n, self.e).fingerprint())
 
     def public(self) -> RsaPublicKey:
         return RsaPublicKey(self.n, self.e)
+
+    @property
+    def public_fingerprint(self) -> bytes:
+        """The matching public key's fingerprint (precomputed; used as a
+        memo-cache key component for trapdoor opens)."""
+        return self._pub_fp
 
     @property
     def byte_size(self) -> int:
@@ -173,13 +209,11 @@ class RsaPrivateKey:
         """The raw RSA inverse permutation value^d mod n (CRT-accelerated)."""
         if not 0 <= value < self.n:
             raise CryptoError("value outside RSA modulus range")
-        # Chinese remainder theorem speedup (~4x over plain pow).
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        q_inv = pow(self.q, -1, self.p)
-        m1 = pow(value % self.p, dp, self.p)
-        m2 = pow(value % self.q, dq, self.q)
-        h = (q_inv * (m1 - m2)) % self.p
+        # Chinese remainder theorem speedup (~4x over plain pow); the
+        # CRT parameters are precomputed once in __post_init__.
+        m1 = pow(value % self.p, self._dp, self.p)
+        m2 = pow(value % self.q, self._dq, self.q)
+        h = (self._q_inv * (m1 - m2)) % self.p
         return m2 + h * self.q
 
     # ----------------------------------------------------------- decryption

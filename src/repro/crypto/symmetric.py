@@ -19,6 +19,19 @@ from repro.crypto.hashing import mgf1, sha256
 __all__ = ["StreamCipher", "FeistelPermutation"]
 
 
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings via one big-int op.
+
+    Replaces the per-byte ``bytes(x ^ y for ...)`` generator: CPython
+    evaluates that loop one byte at a time, while ``int.from_bytes`` /
+    ``int.to_bytes`` run in C.  Byte-for-byte identical output — pinned
+    by the regression vectors in ``tests/test_crypto_symmetric.py``.
+    """
+    if len(a) != len(b):
+        raise ValueError("xor operands must have equal length")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")
+
+
 class StreamCipher:
     """CTR-mode stream cipher: keystream blocks are SHA-256(key || nonce || ctr).
 
@@ -42,7 +55,7 @@ class StreamCipher:
 
     def encrypt(self, nonce: bytes, plaintext: bytes) -> bytes:
         ks = self.keystream(nonce, len(plaintext))
-        return bytes(a ^ b for a, b in zip(plaintext, ks))
+        return _xor_bytes(plaintext, ks)
 
     def decrypt(self, nonce: bytes, ciphertext: bytes) -> bytes:
         return self.encrypt(nonce, ciphertext)
@@ -106,4 +119,4 @@ class FeistelPermutation:
 
     @staticmethod
     def _xor(a: bytes, b: bytes) -> bytes:
-        return bytes(x ^ y for x, y in zip(a, b))
+        return _xor_bytes(a, b)

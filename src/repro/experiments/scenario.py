@@ -23,6 +23,7 @@ from repro.adversary.sniffer import GlobalSniffer
 from repro.core.aant import AantAuthenticator
 from repro.core.agfw import AgfwRouter
 from repro.core.config import AantConfig, AgfwConfig
+from repro.crypto.cache import validate_cache_mode
 from repro.crypto.certificates import CertificateAuthority
 from repro.geo.region import Region
 from repro.location.service import OracleLocationService
@@ -84,6 +85,11 @@ class ScenarioConfig:
     agfw_overrides: Dict[str, object] = dc_field(default_factory=dict)
     gpsr_overrides: Dict[str, object] = dc_field(default_factory=dict)
     real_crypto: bool = False  # run actual RSA/ring signatures
+    # Crypto fast path (real crypto only): "on" memoizes deterministic
+    # verify/open results, "off" recomputes everything, "cross" runs both
+    # and asserts per-call equality.  Outcome-identical by construction;
+    # see repro.crypto.cache.
+    crypto_cache_mode: str = "on"
 
     # Instrumentation.
     keep_trace: bool = False
@@ -96,6 +102,7 @@ class ScenarioConfig:
             raise ValueError("need at least two nodes")
         if self.sim_time <= 0:
             raise ValueError("sim_time must be positive")
+        validate_cache_mode(self.crypto_cache_mode)
 
 
 @dataclass
@@ -221,7 +228,9 @@ class Scenario:
         (the paper: nodes 'retrieve enough of them before entering')."""
         from repro.crypto.certificates import KeyStore
 
-        self.ca = CertificateAuthority(rng=self.rngs.stream("ca"))
+        self.ca = CertificateAuthority(
+            rng=self.rngs.stream("ca"), cache_mode=self.config.crypto_cache_mode
+        )
         stores = []
         for node in self.nodes:
             key, cert = self.ca.enroll(node.identity)
@@ -241,6 +250,7 @@ class Scenario:
             overrides["enable_ack"] = False
         if cfg.real_crypto:
             overrides.setdefault("crypto_mode", "real")
+        overrides.setdefault("crypto_cache_mode", cfg.crypto_cache_mode)
         agfw_cfg = AgfwConfig(radio_range=cfg.radio_range, **overrides)
         authenticator = None
         if cfg.aant_ring_size is not None:
@@ -253,6 +263,7 @@ class Scenario:
                 keystore=node.keystore,
                 ca=self.ca,
                 rng=node.rng("aant"),
+                cache_mode=cfg.crypto_cache_mode,
             )
         return AgfwRouter(node, self.oracle, agfw_cfg, self.tracer, authenticator=authenticator)
 

@@ -1,12 +1,20 @@
-"""Metrics: online collectors and summary statistics."""
+"""Metrics: online collectors, summary statistics, crypto-cache counters."""
 
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
+from repro.metrics.crypto import (
+    crypto_cache_counters,
+    crypto_cache_hit_rates,
+    format_crypto_cache_report,
+)
 from repro.metrics.stats import Summary, mean_confidence_interval, percentile, summarize
 
 __all__ = [
     "DeliveryCollector",
     "OverheadCollector",
     "Summary",
+    "crypto_cache_counters",
+    "crypto_cache_hit_rates",
+    "format_crypto_cache_report",
     "mean_confidence_interval",
     "percentile",
     "summarize",

@@ -154,3 +154,51 @@ def test_signing_bytes_quantization_stable():
     assert a == b
     c = hello_signing_bytes(b"\x01" * 6, Position(10.5, 20.002), 1.0)
     assert a != c
+
+
+# ----------------------------------------- delay accounting (PR 3 bugfix)
+def test_real_unknown_decoy_charges_no_delay(ca_with_nodes):
+    """Regression: the verifier used to charge the full ring_verify_cost
+    *before* discovering it could not resolve a decoy certificate — paying
+    8+ modular exponentiations' worth of virtual time for a lookup miss.
+    A bail-out before any cryptographic work must be free."""
+    ca, stores = ca_with_nodes
+    signer = _real(stores, ca, index=0)
+    from repro.crypto.certificates import KeyStore
+
+    cold_key, cold_cert = ca.enroll("stranger-2")
+    cold_store = KeyStore("stranger-2", cold_key, cold_cert)
+    verifier = AantAuthenticator(
+        AantConfig(ring_size=3), mode="real", keystore=cold_store, ca=ca
+    )
+    attachment, _ = signer.sign_hello(b"\x07" * 6, Position(0, 0), 0.0)
+    valid, delay = verifier.verify_hello(attachment, b"\x07" * 6, Position(0, 0), 0.0)
+    assert not valid
+    assert delay == 0.0
+
+
+def test_real_missing_signature_charges_no_delay(ca_with_nodes):
+    ca, stores = ca_with_nodes
+    verifier = _real(stores, ca, index=1)
+    stripped = AantAttachment(ring_size=4, extra_bytes=0, signature=None)
+    valid, delay = verifier.verify_hello(stripped, b"\x07" * 6, Position(0, 0), 0.0)
+    assert not valid
+    assert delay == 0.0
+
+
+def test_real_resolvable_ring_charges_full_cost(ca_with_nodes):
+    """Once every ring member is resolvable the cryptographic work happens
+    (or is memoized) and the full cost is charged — valid or not."""
+    ca, stores = ca_with_nodes
+    signer = _real(stores, ca, index=0)
+    verifier = _real(stores, ca, index=1)
+    args = (b"\x09" * 6, Position(5, 5), 1.0)
+    attachment, _ = signer.sign_hello(*args)
+    expected = DEFAULT_COST_MODEL.ring_verify_cost(attachment.ring_size)
+
+    valid, delay = verifier.verify_hello(attachment, *args)
+    assert valid and delay == pytest.approx(expected)
+
+    # A tampered message fails *inside* ring verification: cost still paid.
+    valid, delay = verifier.verify_hello(attachment, b"\x0a" * 6, Position(5, 5), 1.0)
+    assert not valid and delay == pytest.approx(expected)

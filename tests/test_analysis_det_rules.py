@@ -358,3 +358,99 @@ def test_det006_audited_uid_modules_exempt(tmp_path):
         rel="src/repro/net/packet.py",
     )
     assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-007
+def test_det007_module_level_empty_dict(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        _CACHE = {}
+
+        def lookup(key):
+            return _CACHE.get(key)
+        """,
+        select=["DET-007"],
+    )
+    assert rule_ids(result) == ["DET-007"]
+    assert result.findings[0].line == 1
+    assert "_CACHE" in result.findings[0].message
+
+
+def test_det007_cache_constructors_fire(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from collections import OrderedDict, defaultdict
+
+        _a = dict()
+        _b: dict = OrderedDict()
+        _c = defaultdict(list)
+        """,
+        select=["DET-007"],
+    )
+    assert rule_ids(result) == ["DET-007", "DET-007", "DET-007"]
+
+
+def test_det007_functools_memo_fires(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import functools
+
+        @functools.lru_cache(maxsize=None)
+        def slow(x):
+            return x * x
+        """,
+        select=["DET-007"],
+    )
+    assert rule_ids(result) == ["DET-007"]
+    assert "lru_cache" in result.findings[0].message
+
+
+def test_det007_from_import_cache_decorator(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from functools import cache
+
+        @cache
+        def slow(x):
+            return x * x
+        """,
+        select=["DET-007"],
+    )
+    assert rule_ids(result) == ["DET-007"]
+
+
+def test_det007_lookup_tables_and_instance_caches_pass(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        _SIZES = {"hello": 24, "data": 64}   # populated literal: a table
+        _COPY = dict(_SIZES)                 # copy: a table
+        _KW = dict(a=1)                      # kwargs: a table
+
+
+        class Verifier:
+            def __init__(self):
+                self._seen = {}              # instance-held: dies with owner
+
+            def check(self, key):
+                return self._seen.setdefault(key, len(self._seen))
+        """,
+        select=["DET-007"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_det007_audited_cache_module_is_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        _REGISTRY = {}
+        """,
+        select=["DET-007"],
+        rel="src/repro/crypto/cache.py",
+    )
+    assert rule_ids(result) == []

@@ -149,3 +149,36 @@ def test_roundtrip_property(rsa_keys, data):
     key = rsa_keys[2]
     rng = random.Random(0)
     assert key.decrypt(key.public().encrypt(data, rng=rng)) == data
+
+
+# ------------------------------------------------------ CRT precompute (PR 3)
+def test_crt_precompute_matches_schoolbook(key):
+    """``apply`` with construction-time dp/dq/q_inv equals the schoolbook
+    ``value^d mod n`` for values across the domain."""
+    for value in (0, 1, 2, 0x1234567890ABCDEF, key.n - 1):
+        assert key.apply(value) == pow(value, key.d, key.n)
+
+
+def test_crt_parameters_are_precomputed(key):
+    assert key._dp == key.d % (key.p - 1)
+    assert key._dq == key.d % (key.q - 1)
+    assert (key._q_inv * key.q) % key.p == 1
+
+
+def test_public_fingerprint_matches_derived_public(key):
+    assert key.public_fingerprint == key.public().fingerprint()
+
+
+def test_public_fingerprint_is_cached_and_stable(key):
+    public = key.public()
+    first = public.fingerprint()
+    assert public.fingerprint() is first  # lazy memo on the frozen dataclass
+    assert public.fingerprint() == key.public().fingerprint()
+
+
+def test_precompute_survives_dataclass_semantics(key):
+    """The private cache fields (compare=False/repr=False) must not leak
+    into equality or the repr of the frozen dataclass."""
+    clone = type(key)(n=key.n, e=key.e, d=key.d, p=key.p, q=key.q)
+    assert clone == key
+    assert "_dp" not in repr(key)

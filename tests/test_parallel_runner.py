@@ -131,3 +131,67 @@ def test_committed_baseline_meets_speedup_floor():
     document = json.loads(path.read_text(encoding="utf-8"))
     assert document["schema_version"] == 1
     assert document["derived"]["fanout_speedup_150_nodes"] >= 3.0
+
+
+# ------------------------------------------- crypto fast path (PR 3)
+def _real_crypto_digest(seed: int) -> tuple:
+    """Worker: run one real-crypto scenario (caches on) and digest its trace.
+
+    Module-level so it pickles into pool workers.  The digest covers
+    ``(time, category, node)`` per record — stable across processes,
+    unlike packet uids which come from per-process counters.
+    """
+    import hashlib
+
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+
+    scenario = Scenario(
+        ScenarioConfig(
+            protocol="agfw",
+            num_nodes=10,
+            sim_time=3.0,
+            traffic_start=(0.5, 1.5),
+            num_flows=3,
+            num_senders=3,
+            seed=seed,
+            real_crypto=True,
+            aant_ring_size=2,
+            keep_trace=True,
+            crypto_cache_mode="on",
+        )
+    )
+    result = scenario.run()
+    records = tuple((repr(r.time), r.category, r.node) for r in scenario.tracer.records)
+    digest = hashlib.sha256(repr(records).encode("utf-8")).hexdigest()
+    return (result.sent, result.delivered, digest)
+
+
+def test_real_crypto_parallel_byte_identical_with_caches():
+    """--jobs byte-identity must survive the crypto memo caches: pool
+    workers start cold while the inline path may run warm, so equality
+    here is a direct test of cache outcome-invisibility across processes."""
+    seeds = [3, 4]
+    serial = parallel_map(_real_crypto_digest, seeds, jobs=1)
+    pooled = parallel_map(_real_crypto_digest, seeds, jobs=2)
+    assert serial == pooled
+
+
+def test_bench_distill_crypto_suite_derived_ratios():
+    harness = _load_bench_to_json()
+    raw = {
+        "benchmarks": [
+            {
+                "name": "test_hello_verify_ring5_10_receivers[off]",
+                "stats": {"mean": 0.009, "stddev": 0.0, "rounds": 5},
+            },
+            {
+                "name": "test_hello_verify_ring5_10_receivers[on]",
+                "stats": {"mean": 0.001, "stddev": 0.0, "rounds": 5},
+            },
+        ]
+    }
+    document = harness.distill(raw, "crypto")
+    assert document["suite"] == "crypto"
+    assert document["derived"]["hello_verify_cached_speedup"] == 9.0
+    # Ratios whose benchmarks did not run are omitted, not zeroed.
+    assert "trapdoor_open_cached_speedup" not in document["derived"]
