@@ -20,7 +20,7 @@ Output schema (``schema_version`` 1)::
 
     {
       "schema_version": 1,
-      "suite": "substrate" | "crypto",
+      "suite": "substrate" | "crypto" | "engine",
       "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...}},
       "derived": {"<metric>": <numerator mean / denominator mean>}
     }
@@ -35,6 +35,10 @@ Suites:
 * ``crypto`` — RSA/ring/trapdoor primitives plus the crypto fast path
   (PR 3); derived cached-vs-uncached speedups for the hello-verify and
   trapdoor-open workloads and the CRT precompute micro-benchmark.
+* ``engine`` — scheduler backends and the tracer fast path (PR 4);
+  derived wheel-vs-heap speedups for the MAC-timer-churn microbench
+  (acceptance floor: 2x) and the end-to-end scenario (floor: no
+  regression), plus the trace keep-vs-drop path ratio.
 """
 
 from __future__ import annotations
@@ -76,6 +80,23 @@ SUITES: dict[str, dict] = {
             "crt_precompute_speedup": (
                 "test_rsa512_private_apply[recompute]",
                 "test_rsa512_private_apply[precomputed]",
+            ),
+        },
+    },
+    "engine": {
+        "file": "bench_engine.py",
+        "derived": {
+            "mac_timer_churn_wheel_speedup": (
+                "test_mac_timer_churn[heap]",
+                "test_mac_timer_churn[wheel]",
+            ),
+            "scenario_wheel_speedup": (
+                "test_end_to_end_scenario[heap]",
+                "test_end_to_end_scenario[wheel]",
+            ),
+            "trace_drop_path_speedup": (
+                "test_trace_emit_20k[keep]",
+                "test_trace_emit_20k[drop]",
             ),
         },
     },

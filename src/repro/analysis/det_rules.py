@@ -22,6 +22,10 @@ DET-007     module-level mutable memo caches (empty dict/OrderedDict/
             defaultdict at module scope, ``functools.lru_cache``/
             ``functools.cache``) outside the audited
             ``repro.crypto.cache`` module
+DET-008     ad-hoc priority queues (``heapq``/``bisect.insort`` calls)
+            outside the scheduler backends in ``repro.sim`` — event
+            ordering must flow through the Simulator's proven-equivalent
+            backends, not side queues
 ==========  ===========================================================
 """
 
@@ -40,6 +44,7 @@ __all__ = [
     "SetIterationOrder",
     "ModuleLevelCounter",
     "ModuleLevelMemoCache",
+    "AdHocEventQueue",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -616,3 +621,73 @@ class ModuleLevelMemoCache(Rule):
         if name == "dict" and (value.args or value.keywords):
             return False
         return True
+
+
+#: heapq mutators that imply a hand-rolled priority queue.  ``merge`` and
+#: ``nsmallest``/``nlargest`` are one-shot selection helpers, not queues,
+#: and pass.
+_HEAPQ_QUEUE_OPS = frozenset(
+    {"heappush", "heappop", "heapify", "heapreplace", "heappushpop"}
+)
+
+#: bisect insertion helpers — the sorted-list flavour of the same queue.
+_BISECT_INSERT_OPS = frozenset({"insort", "insort_left", "insort_right"})
+
+
+@register
+class AdHocEventQueue(Rule):
+    """DET-008: hand-rolled priority queues outside ``repro.sim``.
+
+    The scheduler backends in :mod:`repro.sim.timerwheel` order events by
+    the full ``(time, priority, seq)`` key and are proven pop-equivalent
+    against each other (cross mode checks every pop).  A side queue built
+    from ``heapq`` or ``bisect.insort`` elsewhere re-invents that
+    ordering *without* the seq tie-breaker or the equivalence proof:
+    same-key entries surface in heap-shape-dependent order, which leaks
+    straight into event scheduling and breaks byte-identical traces.
+    Schedule through the Simulator instead, or — for genuinely non-event
+    ordering, like the spatial index's audited rebucketing horizon — add
+    the path to the exemption list with a comment saying why.
+    """
+
+    id = "DET-008"
+    name = "ad-hoc-event-queue"
+    rationale = (
+        "heapq/bisect queues outside repro.sim lack the (time, priority, seq) "
+        "tie-breaker and the cross-checked equivalence proof; same-key pops "
+        "come out in heap-shape order and break byte-identical traces."
+    )
+    exempt_paths = (
+        "sim/*",            # the scheduler backends themselves
+        "geo/spatial.py",   # audited: rebucketing horizon heap, keys unique
+        "tests/*",
+        "test_*.py",
+        "conftest.py",
+        "benchmarks/*",
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_call_target(module, node.func)
+            if target is None:
+                continue
+            mod_name, attr = target
+            if mod_name == "heapq" and attr in _HEAPQ_QUEUE_OPS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"heapq.{attr}() builds an ad-hoc priority queue without "
+                    "the (time, priority, seq) tie-breaker; schedule through "
+                    "the Simulator's backend (repro.sim.timerwheel) or audit "
+                    "& exempt this path",
+                )
+            elif mod_name == "bisect" and attr in _BISECT_INSERT_OPS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"bisect.{attr}() maintains an ad-hoc sorted queue; "
+                    "same-key insertion order is shape-dependent — schedule "
+                    "through the Simulator's backend or audit & exempt",
+                )

@@ -24,7 +24,9 @@ from repro.experiments.overhead import (
     format_location_service_comparison,
     run_location_service_comparison,
 )
+from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.security import format_exposure, run_exposure_experiment
+from repro.sim.timerwheel import SCHEDULER_MODES
 
 __all__ = ["main"]
 
@@ -40,6 +42,14 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="worker processes for independent experiment points "
         "(output is byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_MODES,
+        default="wheel",
+        help="event-queue backend: wheel (timer wheel, default), heap "
+        "(heapq reference), or cross (lockstep equivalence check); "
+        "output is byte-identical for any value",
     )
     parser.add_argument(
         "--nodes",
@@ -65,7 +75,11 @@ def main(argv: list[str] | None = None) -> int:
     if "fig1" not in args.skip:
         print(f"# Density sweep ({sim_time:.0f} s per point, seed {args.seed})\n")
         points = run_fig1(
-            node_counts=counts, sim_time=sim_time, seed=args.seed, jobs=args.jobs
+            node_counts=counts,
+            sim_time=sim_time,
+            seed=args.seed,
+            jobs=args.jobs,
+            base=ScenarioConfig(scheduler_mode=args.scheduler),
         )
         print(format_fig1a(points))
         print()

@@ -35,6 +35,7 @@ from repro.net.node import Node
 from repro.routing.base import RouterStats
 from repro.routing.gpsr import GpsrConfig, GpsrRouter
 from repro.sim.engine import Simulator
+from repro.sim.timerwheel import validate_scheduler_mode
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 from repro.traffic.cbr import CbrSource
@@ -61,6 +62,12 @@ class ScenarioConfig:
     # (full O(N) scan), or "cross" (grid verified against brute on every
     # query).  Outcome-identical by construction; see repro.geo.spatial.
     medium_index: str = "grid"
+    # Event-queue backend: "wheel" (hierarchical timer wheel, default),
+    # "heap" (heapq reference), or "cross" (both in lockstep, raising
+    # SchedulerCoherenceError on any pop divergence).  Pop order — and
+    # therefore every trace byte — is identical in all three modes; see
+    # repro.sim.timerwheel.
+    scheduler_mode: str = "wheel"
 
     # Mobility (paper defaults); static=True pins nodes for debugging.
     min_speed: float = 1.0
@@ -103,6 +110,7 @@ class ScenarioConfig:
         if self.sim_time <= 0:
             raise ValueError("sim_time must be positive")
         validate_cache_mode(self.crypto_cache_mode)
+        validate_scheduler_mode(self.scheduler_mode)
 
 
 @dataclass
@@ -151,7 +159,7 @@ class Scenario:
 
     def __init__(self, config: ScenarioConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler_mode=config.scheduler_mode)
         self.tracer = Tracer(keep=config.keep_trace)
         self.delivery = DeliveryCollector(self.tracer)
         self.overhead = OverheadCollector(self.tracer)

@@ -1,10 +1,16 @@
-"""Metrics: online collectors, summary statistics, crypto-cache counters."""
+"""Metrics: online collectors, summary statistics, crypto-cache and
+substrate (scheduler/tracer) counters."""
 
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
 from repro.metrics.crypto import (
     crypto_cache_counters,
     crypto_cache_hit_rates,
     format_crypto_cache_report,
+)
+from repro.metrics.engine import (
+    format_engine_report,
+    scheduler_counters,
+    tracer_counters,
 )
 from repro.metrics.stats import Summary, mean_confidence_interval, percentile, summarize
 
@@ -15,6 +21,9 @@ __all__ = [
     "crypto_cache_counters",
     "crypto_cache_hit_rates",
     "format_crypto_cache_report",
+    "format_engine_report",
+    "scheduler_counters",
+    "tracer_counters",
     "mean_confidence_interval",
     "percentile",
     "summarize",

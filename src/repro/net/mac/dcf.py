@@ -256,13 +256,19 @@ class DcfMac:
         self.phy.transmit(frame, duration)
         self.stats.data_tx += 1
         self.stats.bytes_tx += self.params.mac_header_bytes + op.packet.size_bytes()
-        self._trace(
-            "mac.tx",
-            packet_uid=op.packet.uid,
-            packet_kind=op.packet.kind,
-            dst=op.dst.value,
-            broadcast=op.is_broadcast,
-        )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled_for("mac.tx"):
+            # Guarded: mac.tx fires once per data frame — skip building the
+            # payload dict entirely when nobody is listening.
+            tracer.emit(
+                self.sim.now,
+                "mac.tx",
+                node=self.node_id,
+                packet_uid=op.packet.uid,
+                packet_kind=op.packet.kind,
+                dst=op.dst.value,
+                broadcast=op.is_broadcast,
+            )
         if op.is_broadcast:
             # Fire-and-forget: done when the frame leaves the antenna.
             self._state = MacState.IDLE
@@ -348,12 +354,16 @@ class DcfMac:
         if frame.packet is None:
             return
         self.stats.delivered_up += 1
-        self._trace(
-            "mac.rx",
-            packet_uid=frame.packet.uid,
-            packet_kind=frame.packet.kind,
-            src=frame.src.value,
-        )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled_for("mac.rx"):
+            tracer.emit(
+                self.sim.now,
+                "mac.rx",
+                node=self.node_id,
+                packet_uid=frame.packet.uid,
+                packet_kind=frame.packet.kind,
+                src=frame.src.value,
+            )
         if self.receive_callback is not None:
             self.receive_callback(frame.packet, frame)
 

@@ -185,8 +185,12 @@ class RadioMedium:
             end=now + duration,
         )
         self.frames_sent += 1
-        if self.tracer is not None:
-            self.tracer.emit(
+        tracer = self.tracer
+        # enabled_for guard: the phy.tx payload below is the biggest dict
+        # built anywhere on the hot path — skip it entirely when nobody
+        # retains or subscribes to phy.tx records.
+        if tracer is not None and tracer.enabled_for("phy.tx"):
+            tracer.emit(
                 now,
                 "phy.tx",
                 node=sender.node_id,

@@ -129,7 +129,7 @@ class PhyRadio:
                 self.mac.on_frame(tx.frame, tx)
         elif deliverable and corrupted:
             self.frames_collided += 1
-            if self.tracer is not None:
+            if self.tracer is not None and self.tracer.enabled_for("phy.collision"):
                 self.tracer.emit(
                     self.sim.now,
                     "phy.collision",

@@ -6,19 +6,36 @@ schedule events against a single :class:`Simulator` instance.
 
 Design notes
 ------------
-* The heap holds ``(time, priority, seq, event)`` tuples.  Ordering is
-  decided entirely by the leading floats/ints — the monotonically
-  increasing sequence number is unique, so tuple comparison never reaches
-  the :class:`Event` object and the heap skips Python-level ``__lt__``
-  dispatch on every sift (a measurable win: the engine pushes/pops one
-  tuple per MAC timer, per frame, per mobility leg).
+* The pending-event queue is a pluggable **scheduler backend** (see
+  :mod:`repro.sim.timerwheel`), selected by ``scheduler_mode``:
+
+  - ``"heap"``  — a ``heapq`` of ``(time, priority, seq, event)`` tuples.
+    Ordering is decided entirely by the leading floats/ints — the
+    monotonically increasing sequence number is unique, so tuple
+    comparison never reaches the :class:`Event` object.
+  - ``"wheel"`` — a two-level hierarchical timer wheel (near buckets at
+    MAC-slot granularity + far-future overflow heap): O(1) scheduling
+    into the near window and pops that cost bucket occupancy instead of
+    log(total backlog).  Pop order — and therefore every trace byte —
+    is identical to the heap by construction.
+  - ``"cross"`` — both backends in lockstep, comparing
+    ``(time, priority, seq)`` and event identity on every pop and
+    raising :class:`SchedulerCoherenceError` on divergence: the
+    per-pop equivalence proof.
+
 * :class:`Event` is a ``__slots__`` class (no per-event ``__dict__``):
-  events are the most-allocated object in a run.
+  events are the most-allocated object in a run.  Events never need to
+  be comparable — every backend orders raw key tuples, so there is no
+  ``__lt__`` to dispatch (the once-vestigial implementation is gone).
 * Cancellation is *lazy*: :meth:`Event.cancel` marks the event and the
-  main loop skips cancelled entries when they surface.  This keeps both
-  ``schedule`` and ``cancel`` O(log n) / O(1).  A cached live-event
-  counter keeps :attr:`Simulator.pending_events` O(1) instead of an
-  O(n) queue scan.
+  backend skips cancelled entries when they surface.  This keeps both
+  ``schedule`` and ``cancel`` cheap.  A cached live-event counter keeps
+  :attr:`Simulator.pending_events` O(1) instead of an O(n) queue scan.
+  On top of that, the engine **compacts** the backlog (rebuilds the
+  backend without dead entries) whenever more than half of a large
+  backlog is cancelled — MAC-heavy runs cancel most of their timers, and
+  compaction bounds the memory those corpses would otherwise hold until
+  their original expiry.
 * Time is a float in **seconds** of simulated time.  MAC-level code deals
   in microseconds; helpers in :mod:`repro.net.mac.constants` convert.
 
@@ -29,14 +46,35 @@ reached** — the queue drained below ``until``, or the next event lies
 beyond it.  When the run is cut short by ``max_events`` or
 :meth:`Simulator.stop`, ``now`` stays at the last executed event so a
 subsequent ``run()`` resumes mid-stream without skipping simulated time.
+The contract holds identically under every scheduler backend (tested
+parametrized over all modes).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+from repro.sim.timerwheel import (
+    SCHEDULER_MODES,
+    SchedulerCoherenceError,
+    make_scheduler,
+    validate_scheduler_mode,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "SchedulerCoherenceError",
+    "SCHEDULER_MODES",
+    "call_later",
+]
+
+#: Compaction trigger: rebuild the backend once the backlog exceeds this
+#: size *and* more than half of it is cancelled.  Small queues never pay
+#: the O(n) rebuild; large churny ones amortize it against the >n/2 dead
+#: entries removed.
+COMPACT_MIN_BACKLOG = 512
 
 
 class SimulationError(RuntimeError):
@@ -73,32 +111,29 @@ class Event:
         """Mark this event so it is skipped when it reaches the queue head."""
         if not self.cancelled:
             self.cancelled = True
-            if self._sim is not None:
-                self._sim._live -= 1
+            sim = self._sim
+            if sim is not None:
+                sim._live -= 1
+                sim._maybe_compact()
 
     @property
     def pending(self) -> bool:
         """True while the event has neither fired nor been cancelled."""
         return not self.cancelled
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"Event({self.name or self.callback!r} @ {self.time:.6f}s, {state})"
 
 
-#: Heap entry: ordering fields first, the event payload last (never compared).
-_HeapEntry = Tuple[float, int, int, Event]
-
-
 class Simulator:
     """A deterministic discrete-event simulator.
+
+    ``scheduler_mode`` selects the queue backend (``"heap"`` — the
+    default — ``"wheel"``, or ``"cross"``); outcomes and traces are
+    byte-identical in every mode.  ``wheel_resolution`` /
+    ``wheel_slots`` tune the near wheel (defaults: 802.11 slot time x
+    1024 buckets ~= 20.5 ms horizon).
 
     Example
     -------
@@ -110,9 +145,21 @@ class Simulator:
     [1.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        scheduler_mode: str = "heap",
+        wheel_resolution: Optional[float] = None,
+        wheel_slots: Optional[int] = None,
+    ) -> None:
         self._now = float(start_time)
-        self._queue: List[_HeapEntry] = []
+        validate_scheduler_mode(scheduler_mode)
+        kwargs: Dict[str, Any] = {}
+        if wheel_resolution is not None:
+            kwargs["resolution"] = wheel_resolution
+        if wheel_slots is not None:
+            kwargs["slots"] = wheel_slots
+        self._sched = make_scheduler(scheduler_mode, self._now, **kwargs)
         self._seq = 0
         self._running = False
         self._processed = 0
@@ -124,6 +171,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def scheduler_mode(self) -> str:
+        """The active scheduler backend (``heap`` | ``wheel`` | ``cross``)."""
+        return self._sched.mode
 
     @property
     def processed_events(self) -> int:
@@ -169,9 +221,22 @@ class Simulator:
             )
         self._seq += 1
         event = Event(time, priority, self._seq, callback, name, _sim=self)
-        heapq.heappush(self._queue, (time, priority, self._seq, event))
+        self._sched.push((time, priority, self._seq, event))
         self._live += 1
         return event
+
+    def _maybe_compact(self) -> None:
+        """Cancelled-entry compaction: when more than half of a large
+        backlog is dead, rebuild the backend without the corpses.
+
+        Triggered from :meth:`Event.cancel` — the only operation that can
+        grow the dead fraction.  Purely count-driven, hence deterministic;
+        live pop order is unaffected.  Each compaction removes more than
+        half the backlog, so the O(n) rebuild amortizes to O(1) per
+        cancellation."""
+        backlog = len(self._sched)
+        if backlog > COMPACT_MIN_BACKLOG and (backlog - self._live) * 2 > backlog:
+            self._sched.compact()
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event; ``None`` is accepted and ignored."""
@@ -201,28 +266,29 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
-        queue = self._queue
+        sched = self._sched
+        drained = False
         try:
-            while queue:
-                if self._stopped:
+            while not self._stopped:
+                head = sched.peek()
+                if head is None:
+                    drained = True
                     break
-                time, _priority, _seq, event = queue[0]
-                if event.cancelled:
-                    heapq.heappop(queue)
-                    continue
+                time = head[0]
                 if until is not None and time > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(queue)
+                sched.pop()
+                event = head[3]
                 self._now = time
                 event.cancelled = True  # consumed; handle can no longer cancel
                 self._live -= 1
                 event.callback()
                 self._processed += 1
                 executed += 1
-            else:
+            if drained:
                 # Queue drained.  A drain *after* stop() still counts as an
                 # interrupted run: leave the clock at the last executed event
                 # so resumption scheduling stays relative to it.
@@ -242,12 +308,41 @@ class Simulator:
     # ------------------------------------------------------------- inspection
     def iter_pending(self) -> Iterator[Event]:
         """Yield pending events in an unspecified order (inspection only)."""
-        return (entry[3] for entry in self._queue if not entry[3].cancelled)
+        return self._sched.iter_events()
+
+    def scheduler_stats(self) -> Dict[str, int]:
+        """Backend telemetry: backlog (live + dead), compactions, and —
+        for the wheel — ready/wheel/overflow occupancy and re-bases."""
+        stats = dict(self._sched.stats())
+        stats["pending"] = self._live
+        stats["processed"] = self._processed
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.6f}s, pending={self.pending_events})"
+        return (
+            f"Simulator(now={self._now:.6f}s, pending={self.pending_events}, "
+            f"scheduler={self.scheduler_mode})"
+        )
 
 
-def call_later(sim: Simulator, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-    """Convenience wrapper binding ``*args`` into a scheduled call."""
-    return sim.schedule(delay, lambda: fn(*args), name=getattr(fn, "__name__", ""))
+def call_later(
+    sim: Simulator,
+    delay: float,
+    fn: Callable[..., Any],
+    *args: Any,
+    priority: int = 0,
+    name: Optional[str] = None,
+) -> Event:
+    """Convenience wrapper binding ``*args`` into a scheduled call.
+
+    ``priority`` and ``name`` pass through to :meth:`Simulator.schedule`
+    (they were previously dropped, so helpers scheduled through this
+    wrapper lost their intended same-instant ordering); ``name`` defaults
+    to the callable's ``__name__``.
+    """
+    return sim.schedule(
+        delay,
+        lambda: fn(*args),
+        priority=priority,
+        name=name if name is not None else getattr(fn, "__name__", ""),
+    )

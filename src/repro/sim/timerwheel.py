@@ -1,0 +1,465 @@
+"""Scheduler backends: binary heap, hierarchical timer wheel, cross-check.
+
+The :class:`~repro.sim.engine.Simulator` delegates its pending-event
+queue to one of the backends in this module, selected by the
+``scheduler_mode`` knob (``"heap"`` | ``"wheel"`` | ``"cross"``):
+
+* :class:`HeapScheduler` — the original ``heapq`` of
+  ``(time, priority, seq, event)`` tuples.  O(log n) per push/pop with a
+  small C constant; the baseline every other backend must match
+  *exactly*.
+* :class:`TimerWheelScheduler` — a two-level hierarchical timer wheel in
+  the NS-2 calendar-queue tradition: a near-horizon wheel of
+  ``slots`` buckets, each ``resolution`` seconds wide (default: the
+  802.11 slot time, so DIFS/SIFS/backoff/NAV/frame timers — the dense
+  short-horizon mass of every MANET run — land in near buckets with an
+  O(1) ``list.append``), plus a far-future overflow heap for hello
+  beacons, mobility legs and traffic deadlines.  Expired buckets drain
+  through a small *ready* heap, so per-event pop cost scales with bucket
+  occupancy, not with the total backlog.
+* :class:`CrossScheduler` — drives a wheel and a heap in lockstep from
+  the same entry stream and compares ``(time, priority, seq)`` *and*
+  event identity on every peek/pop, raising
+  :class:`SchedulerCoherenceError` on the first divergence.  One passing
+  run is a per-pop equivalence proof, the same pattern as the medium's
+  grid-vs-brute ``"cross"`` and the crypto cache's recompute-and-compare
+  mode.
+
+Exact-order argument for the wheel
+----------------------------------
+Entries carry their full ordering key ``(time, priority, seq)``.  The
+wheel only *batches* them: an entry is binned by ``tick(time) =
+int(time / resolution)`` and every bucket is drained in ascending tick
+order into the ready heap, which orders by the full key.  ``tick`` is a
+monotone map (float division by a positive constant preserves ``<=``),
+so for a ready entry *r* and a still-binned entry *b*:
+``tick(r) <= drained_tick < tick(b)`` implies ``r.time < b.time``
+(equal times would force equal ticks).  Hence the ready heap's minimum
+is always the global minimum and pop order is identical to the heap
+backend's — byte-identical traces follow, and ``cross`` mode re-proves
+it on every pop.
+
+Cancellation and compaction
+---------------------------
+Cancellation stays lazy (an :class:`~repro.sim.engine.Event` is flagged
+and skipped when it surfaces), but both backends additionally support
+**compaction**: ``compact()`` rebuilds the containers without the dead
+entries.  The engine triggers it when more than half the backlog is
+cancelled and the backlog is large — MAC-heavy runs cancel most of
+their timers (every frozen backoff, every answered CTS/ACK wait), and
+without compaction those corpses linger until their original expiry.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event
+
+__all__ = [
+    "SCHEDULER_MODES",
+    "DEFAULT_RESOLUTION",
+    "DEFAULT_SLOTS",
+    "SchedulerCoherenceError",
+    "HeapScheduler",
+    "TimerWheelScheduler",
+    "CrossScheduler",
+    "make_scheduler",
+]
+
+SCHEDULER_MODES = ("heap", "wheel", "cross")
+
+#: Near-wheel bucket width: the 802.11 slot time (20 us).  DIFS, SIFS,
+#: backoff slots, frame durations and control timeouts all resolve to a
+#: handful of ticks, which is exactly the dense regime the wheel wins in.
+DEFAULT_RESOLUTION = 20e-6
+
+#: Near-wheel bucket count.  1024 x 20 us ~= 20.5 ms of horizon — wider
+#: than any single MAC exchange (DATA + timeouts << 10 ms), so the whole
+#: DCF state machine lives in near buckets while beacons/mobility go to
+#: the overflow heap.
+DEFAULT_SLOTS = 1024
+
+#: Queue entry: ordering key first, the event payload last (never compared
+#: by the heaps — ``seq`` is unique, so tuple comparison always resolves
+#: before reaching the Event).
+Entry = Tuple[float, int, int, "Event"]
+
+
+class SchedulerCoherenceError(AssertionError):
+    """Cross mode found the wheel and heap backends disagreeing on a pop."""
+
+
+def validate_scheduler_mode(mode: str) -> str:
+    """Return ``mode`` if valid, else raise ``ValueError``."""
+    if mode not in SCHEDULER_MODES:
+        raise ValueError(f"scheduler_mode must be one of {SCHEDULER_MODES}, got {mode!r}")
+    return mode
+
+
+def make_scheduler(
+    mode: str,
+    start_time: float = 0.0,
+    resolution: float = DEFAULT_RESOLUTION,
+    slots: int = DEFAULT_SLOTS,
+):
+    """Build the backend for ``mode`` (see :data:`SCHEDULER_MODES`)."""
+    validate_scheduler_mode(mode)
+    if mode == "heap":
+        return HeapScheduler()
+    if mode == "wheel":
+        return TimerWheelScheduler(start_time, resolution=resolution, slots=slots)
+    return CrossScheduler(
+        TimerWheelScheduler(start_time, resolution=resolution, slots=slots),
+        HeapScheduler(),
+    )
+
+
+class HeapScheduler:
+    """The baseline ``heapq`` backend (PR 2's tuple-keyed heap)."""
+
+    mode = "heap"
+
+    __slots__ = ("_queue", "compactions")
+
+    def __init__(self) -> None:
+        self._queue: List[Entry] = []
+        self.compactions = 0
+
+    def push(self, entry: Entry) -> None:
+        heappush(self._queue, entry)
+
+    def peek(self) -> Optional[Entry]:
+        """The live head entry, discarding cancelled entries that surface."""
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heappop(queue)
+            else:
+                return head
+        return None
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the live head entry (``None`` when drained)."""
+        head = self.peek()
+        if head is not None:
+            heappop(self._queue)
+        return head
+
+    def compact(self) -> None:
+        """Rebuild the heap without cancelled entries (heapify is O(n))."""
+        self._queue = [entry for entry in self._queue if not entry[3].cancelled]
+        heapify(self._queue)
+        self.compactions += 1
+
+    def iter_events(self) -> Iterator["Event"]:
+        """Live events in unspecified order (inspection only)."""
+        return (entry[3] for entry in self._queue if not entry[3].cancelled)
+
+    def __len__(self) -> int:
+        """Backlog size *including* not-yet-collected cancelled entries."""
+        return len(self._queue)
+
+    def stats(self) -> Dict[str, int]:
+        return {"backlog": len(self._queue), "compactions": self.compactions}
+
+
+class TimerWheelScheduler:
+    """Two-level hierarchical timer wheel (near buckets + overflow heap).
+
+    Structure (all entries are full ``(time, priority, seq, event)``
+    tuples):
+
+    ``_ready``
+        A small heap holding every entry whose tick is already drained
+        (``tick <= _drained``).  Pops come from here; its minimum is the
+        global minimum (see the module docstring's exactness argument).
+    ``_wheel``
+        ``slots`` bucket lists covering ticks ``[_base, _base + slots)``.
+        Scheduling into the window is an O(1) append; a per-bucket
+        occupancy heap (``_occupied``) finds the next non-empty bucket
+        without scanning empty ones.
+    ``_overflow``
+        A heap of entries beyond the window.  When the wheel runs dry it
+        *re-bases* directly onto the overflow minimum's tick and migrates
+        every overflow entry inside the new window — so sparse phases
+        (pure beacon traffic) jump instead of stepping bucket by bucket.
+    """
+
+    mode = "wheel"
+
+    __slots__ = (
+        "resolution",
+        "slots",
+        "_inv_resolution",
+        "_wheel",
+        "_wheel_count",
+        "_occupied",
+        "_ready",
+        "_overflow",
+        "_base",
+        "_horizon",
+        "_drained",
+        "compactions",
+        "rebases",
+    )
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        resolution: float = DEFAULT_RESOLUTION,
+        slots: int = DEFAULT_SLOTS,
+    ) -> None:
+        if resolution <= 0.0:
+            raise ValueError("resolution must be positive")
+        if slots < 2:
+            raise ValueError("need at least two wheel slots")
+        self.resolution = resolution
+        self.slots = slots
+        self._inv_resolution = 1.0 / resolution
+        self._wheel: List[List[Entry]] = [[] for _ in range(slots)]
+        self._wheel_count = 0  # entries currently binned in wheel buckets
+        self._occupied: List[int] = []  # heap of (possibly stale) occupied ticks
+        self._ready: List[Entry] = []  # entries with tick <= _drained
+        self._overflow: List[Entry] = []  # entries with tick >= _base + slots
+        base = int(start_time * self._inv_resolution)
+        self._base = base  # wheel window start tick
+        self._horizon = base + slots  # first tick beyond the window
+        self._drained = base - 1  # highest tick already drained into _ready
+        self.compactions = 0
+        self.rebases = 0
+
+    # -------------------------------------------------------------- mutation
+    def push(self, entry: Entry) -> None:
+        # Branches ordered by hot-path frequency (MAC profile: short
+        # near-window timers dominate), with the window end precomputed
+        # in ``_horizon`` so the common case costs one multiply, two
+        # compares, and a list append.
+        tick = int(entry[0] * self._inv_resolution)
+        if tick > self._drained:
+            if tick < self._horizon:
+                bucket = self._wheel[tick % self.slots]
+                if not bucket:
+                    heappush(self._occupied, tick)
+                bucket.append(entry)
+                self._wheel_count += 1
+            else:
+                heappush(self._overflow, entry)
+        else:
+            # The entry's bucket has already been drained (same-instant or
+            # sub-resolution scheduling): it competes in the ready heap.
+            heappush(self._ready, entry)
+
+    def peek(self) -> Optional[Entry]:
+        """The live minimum entry, discarding cancelled ones that surface."""
+        ready = self._ready
+        while True:
+            while ready:
+                head = ready[0]
+                if head[3].cancelled:
+                    heappop(ready)
+                else:
+                    return head
+            if not self._advance():
+                return None
+
+    def pop(self) -> Optional[Entry]:
+        # Open-coded rather than peek()-then-remove: corpses surfacing at
+        # the ready minimum are discarded by the same heappop that would
+        # have removed them anyway, halving per-entry Python work on the
+        # drain path.
+        ready = self._ready
+        while True:
+            while ready:
+                head = heappop(ready)
+                if not head[3].cancelled:
+                    return head
+            if not self._advance():
+                return None
+
+    # ------------------------------------------------------------- advancing
+    def _advance(self) -> bool:
+        """Drain the next non-empty bucket into the ready heap.
+
+        Returns ``False`` when the whole queue is empty.  May deliver a
+        bucket of entries that all turn out cancelled — the peek loop
+        simply advances again.
+        """
+        if self._wheel_count == 0:
+            # Wheel dry: collect dead overflow heads, then re-base the
+            # window directly onto the overflow minimum (sparse phases
+            # jump, they do not step bucket by bucket).
+            overflow = self._overflow
+            while overflow and overflow[0][3].cancelled:
+                heappop(overflow)
+            if not overflow:
+                return False
+            base = int(overflow[0][0] * self._inv_resolution)
+            horizon = base + self.slots
+            self._base = base
+            self._horizon = horizon
+            self._drained = base - 1
+            self._occupied = []
+            self.rebases += 1
+            wheel = self._wheel
+            occupied = self._occupied
+            inv_resolution = self._inv_resolution
+            # Migrate only the overflow *head* entries inside the new
+            # window.  The overflow heap orders by the full key and
+            # ``tick`` is monotone in time, so once the head's tick
+            # reaches the horizon every deeper entry is past it too —
+            # migration costs O(migrated x log overflow), never a full
+            # scan of the far-future population.
+            while overflow:
+                head = overflow[0]
+                if head[3].cancelled:
+                    heappop(overflow)
+                    continue
+                tick = int(head[0] * inv_resolution)
+                if tick >= horizon:
+                    break
+                heappop(overflow)
+                bucket = wheel[tick % self.slots]
+                if not bucket:
+                    heappush(occupied, tick)
+                bucket.append(head)
+                self._wheel_count += 1
+            # _wheel_count > 0 now: the overflow minimum itself migrated.
+        occupied = self._occupied
+        wheel = self._wheel
+        ready = self._ready
+        while occupied:
+            tick = heappop(occupied)
+            bucket = wheel[tick % self.slots]
+            if not bucket:
+                continue  # stale occupancy marker (bucket emptied by compact)
+            for entry in bucket:
+                if not entry[3].cancelled:
+                    heappush(ready, entry)
+            self._wheel_count -= len(bucket)
+            del bucket[:]  # reuse the list object across rotations
+            self._drained = tick
+            return True
+        # Occupancy heap exhausted but the count says entries remain —
+        # impossible unless internal invariants broke.
+        raise AssertionError("timer wheel occupancy desynchronized")  # pragma: no cover
+
+    # ------------------------------------------------------------ compaction
+    def compact(self) -> None:
+        """Rebuild every container without cancelled entries."""
+        live_ready = [entry for entry in self._ready if not entry[3].cancelled]
+        heapify(live_ready)
+        self._ready = live_ready
+        wheel_count = 0
+        for bucket in self._wheel:
+            if bucket:
+                bucket[:] = [entry for entry in bucket if not entry[3].cancelled]
+                wheel_count += len(bucket)
+        # Stale occupancy markers (now-empty buckets) are skipped lazily
+        # by _advance; re-heapifying here would not change pop order.
+        self._wheel_count = wheel_count
+        live_overflow = [entry for entry in self._overflow if not entry[3].cancelled]
+        heapify(live_overflow)
+        self._overflow = live_overflow
+        self.compactions += 1
+
+    # ------------------------------------------------------------ inspection
+    def iter_events(self) -> Iterator["Event"]:
+        """Live events in unspecified order (inspection only)."""
+        for entry in self._ready:
+            if not entry[3].cancelled:
+                yield entry[3]
+        for bucket in self._wheel:
+            for entry in bucket:
+                if not entry[3].cancelled:
+                    yield entry[3]
+        for entry in self._overflow:
+            if not entry[3].cancelled:
+                yield entry[3]
+
+    def __len__(self) -> int:
+        """Backlog size *including* not-yet-collected cancelled entries.
+
+        Derived O(1) from the container sizes rather than maintained as
+        a counter — keeping a counter honest costs an attribute
+        load+store on *every* push, pop, and lazy discard, measurably
+        the single largest interpreter overhead on the churn hot path.
+        """
+        return len(self._ready) + self._wheel_count + len(self._overflow)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "backlog": len(self),
+            "ready": len(self._ready),
+            "wheel": self._wheel_count,
+            "overflow": len(self._overflow),
+            "compactions": self.compactions,
+            "rebases": self.rebases,
+        }
+
+
+class CrossScheduler:
+    """Drive a wheel and a heap in lockstep; any divergence raises.
+
+    Every push goes to both backends; every peek/pop compares the full
+    ordering key ``(time, priority, seq)`` *and* the event identity, so
+    one passing run proves pop-order equivalence for that exact event
+    stream.  Compaction compacts both (it never changes live order, and
+    the next pops re-verify that).
+    """
+
+    mode = "cross"
+
+    __slots__ = ("wheel", "heap")
+
+    def __init__(self, wheel: TimerWheelScheduler, heap: HeapScheduler) -> None:
+        self.wheel = wheel
+        self.heap = heap
+
+    def push(self, entry: Entry) -> None:
+        self.wheel.push(entry)
+        self.heap.push(entry)
+
+    def _check(self, ours: Optional[Entry], reference: Optional[Entry], op: str) -> None:
+        if ours is None and reference is None:
+            return
+        if (
+            ours is None
+            or reference is None
+            or ours[:3] != reference[:3]
+            or ours[3] is not reference[3]
+        ):
+            raise SchedulerCoherenceError(
+                f"scheduler divergence on {op}: wheel produced "
+                f"{ours and ours[:3]}, heap produced {reference and reference[:3]}"
+            )
+
+    def peek(self) -> Optional[Entry]:
+        ours = self.wheel.peek()
+        reference = self.heap.peek()
+        self._check(ours, reference, "peek")
+        return ours
+
+    def pop(self) -> Optional[Entry]:
+        ours = self.wheel.pop()
+        reference = self.heap.pop()
+        self._check(ours, reference, "pop")
+        return ours
+
+    def compact(self) -> None:
+        self.wheel.compact()
+        self.heap.compact()
+
+    def iter_events(self) -> Iterator["Event"]:
+        return self.heap.iter_events()
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def stats(self) -> Dict[str, int]:
+        stats = dict(self.wheel.stats())
+        stats["heap_backlog"] = len(self.heap)
+        return stats

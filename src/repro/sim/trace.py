@@ -4,16 +4,50 @@ A :class:`Tracer` collects typed trace records emitted by any simulation
 component.  Traces power the metric collectors, the adversary modules (a
 sniffer is just a consumer of PHY traces within radio range), and debugging.
 
-Records are plain dataclasses, cheap to emit and filter.  Tracing of a
-category can be disabled entirely so hot paths pay one dict lookup.
+Hot-path design
+---------------
+``emit`` runs once per simulated event across the whole stack (every
+frame, every MAC timer decision, every routing hop), so its constant
+factor is engine-level:
+
+* **Interned categories.**  Every category string is ``sys.intern``-ed on
+  first sight, so the per-category dispatch dict below resolves by
+  pointer comparison and retained records share one string object per
+  category.
+* **Per-category dispatch cache.**  Subscribers are bucketed by the
+  first dotted segment of their prefix (``"mac."`` subscriptions are
+  never scanned for a ``phy.tx`` record); the matching callback tuple
+  per category — or a muted marker — is computed once and memoized, so
+  a hot ``emit`` is one dict lookup, not a prefix scan.  The cache is
+  instance-held (it dies with the tracer) and is invalidated by
+  ``subscribe``/``mute``/``unmute``.
+* **Zero-allocation drop path.**  When retention is off (``keep=False``)
+  and no subscriber matches, ``emit`` returns before the
+  :class:`TraceRecord` is ever constructed — benchmark-style runs used
+  to allocate (and immediately drop) a frozen dataclass per event.
+* **`enabled_for` guard.**  Emitters with expensive payloads ask
+  ``tracer.enabled_for(category)`` first and skip building the payload
+  dict entirely when nobody is listening (see the MAC and medium hot
+  paths).
+
+``mute`` uses the same *prefix* semantics as ``subscribe``/``filter``:
+``mute("mac.")`` drops ``mac.drop`` too (it used to match only the exact
+category, a long-standing asymmetry).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from sys import intern as _intern
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["TraceRecord", "Tracer"]
+
+#: Dispatch-cache marker for "this category is muted".  Distinct from the
+#: empty tuple (= live but subscriber-less, still retained when keep=True).
+_MUTED = False
+
+_Subscriber = Tuple[str, Callable[["TraceRecord"], None]]
 
 
 @dataclass(frozen=True)
@@ -43,8 +77,53 @@ class Tracer:
     def __init__(self, keep: bool = True) -> None:
         self.keep = keep
         self.records: List[TraceRecord] = []
-        self._subscribers: List[tuple[str, Callable[[TraceRecord], None]]] = []
-        self._muted: set[str] = set()
+        #: All subscriptions in registration order (the dispatch order).
+        self._subscribers: List[_Subscriber] = []
+        #: Dotted prefixes bucketed by their first segment; prefixes that
+        #: cannot pin a first segment (no ``"."``) go to the global list.
+        self._buckets: Dict[str, List[Tuple[int, str, Callable[[TraceRecord], None]]]] = {}
+        self._unbucketed: List[Tuple[int, str, Callable[[TraceRecord], None]]] = []
+        self._muted: List[str] = []
+        #: interned category -> tuple of matching callbacks, or ``_MUTED``.
+        self._dispatch: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------- resolution
+    def _resolve(self, category: str) -> Any:
+        """Compute (and memoize) the dispatch entry for ``category``."""
+        category = _intern(category)
+        entry: Any
+        if any(category.startswith(m) for m in self._muted):
+            entry = _MUTED
+        else:
+            head, _, _ = category.partition(".")
+            matches = [
+                (order, callback)
+                for order, prefix, callback in self._unbucketed
+                if category.startswith(prefix)
+            ]
+            matches += [
+                (order, callback)
+                for order, prefix, callback in self._buckets.get(head, ())
+                if category.startswith(prefix)
+            ]
+            matches.sort()  # registration order across both pools
+            entry = tuple(callback for _, callback in matches)
+        self._dispatch[category] = entry
+        return entry
+
+    def enabled_for(self, category: str) -> bool:
+        """Would emitting ``category`` have any effect right now?
+
+        ``False`` when the category is muted, or when it is neither
+        retained (``keep=False``) nor matched by any subscriber — hot
+        emitters use this to skip building payload dicts entirely.
+        """
+        callbacks = self._dispatch.get(category)
+        if callbacks is None:
+            callbacks = self._resolve(category)
+        if callbacks is _MUTED:
+            return False
+        return self.keep or bool(callbacks)
 
     # ----------------------------------------------------------------- emit
     def emit(
@@ -55,26 +134,46 @@ class Tracer:
         **data: Any,
     ) -> None:
         """Record an event. ``data`` keys are event-specific payload fields."""
-        if category in self._muted:
+        callbacks = self._dispatch.get(category)
+        if callbacks is None:
+            callbacks = self._resolve(category)
+            category = _intern(category)
+        if callbacks is _MUTED:
             return
+        if not callbacks and not self.keep:
+            return  # zero-allocation drop path: no TraceRecord at all
         record = TraceRecord(time=time, category=category, node=node, data=data)
         if self.keep:
             self.records.append(record)
-        for prefix, callback in self._subscribers:
-            if category.startswith(prefix):
-                callback(record)
+        for callback in callbacks:
+            callback(record)
 
     # ------------------------------------------------------------ subscribe
     def subscribe(self, prefix: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every future record whose category starts with ``prefix``."""
+        order = len(self._subscribers)
         self._subscribers.append((prefix, callback))
+        head, dot, _ = prefix.partition(".")
+        if dot:
+            # A dotted prefix pins the record's first segment exactly.
+            self._buckets.setdefault(head, []).append((order, prefix, callback))
+        else:
+            # ``""`` or a partial head ("ma" matches both "mac.*" and
+            # "mavericks.*"): consult for every category.
+            self._unbucketed.append((order, prefix, callback))
+        self._dispatch.clear()
 
-    def mute(self, category: str) -> None:
-        """Drop records of an exact category (hot-path suppression)."""
-        self._muted.add(category)
+    def mute(self, prefix: str) -> None:
+        """Drop records whose category starts with ``prefix`` (hot-path
+        suppression; same prefix semantics as :meth:`subscribe`)."""
+        if prefix not in self._muted:
+            self._muted.append(prefix)
+        self._dispatch.clear()
 
-    def unmute(self, category: str) -> None:
-        self._muted.discard(category)
+    def unmute(self, prefix: str) -> None:
+        if prefix in self._muted:
+            self._muted.remove(prefix)
+        self._dispatch.clear()
 
     # -------------------------------------------------------------- queries
     def filter(self, prefix: str) -> Iterator[TraceRecord]:
@@ -94,6 +193,18 @@ class Tracer:
         for record in self.records:
             hist[record.category] = hist.get(record.category, 0) + 1
         return hist
+
+    def dispatch_stats(self) -> Dict[str, int]:
+        """Fast-path telemetry: cached categories, subscriber count,
+        bucketed vs global subscriptions, mute prefixes, retained records."""
+        return {
+            "cached_categories": len(self._dispatch),
+            "subscribers": len(self._subscribers),
+            "bucketed": sum(len(v) for v in self._buckets.values()),
+            "unbucketed": len(self._unbucketed),
+            "muted_prefixes": len(self._muted),
+            "retained_records": len(self.records),
+        }
 
     def __len__(self) -> int:
         return len(self.records)

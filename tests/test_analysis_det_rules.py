@@ -454,3 +454,97 @@ def test_det007_audited_cache_module_is_exempt(tmp_path):
         rel="src/repro/crypto/cache.py",
     )
     assert rule_ids(result) == []
+
+
+# ------------------------------------------------------------------- DET-008
+def test_det008_heapq_module_calls_fire(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import heapq
+
+        queue = []
+
+        def add(t, item):
+            heapq.heappush(queue, (t, item))
+
+        def pop():
+            return heapq.heappop(queue)
+        """,
+        select=["DET-008"],
+    )
+    assert rule_ids(result) == ["DET-008", "DET-008"]
+    assert "heappush" in result.findings[0].message
+
+
+def test_det008_from_import_and_alias_fire(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from heapq import heapify, heapreplace
+        import bisect as b
+
+        def rebuild(entries):
+            heapify(entries)
+            heapreplace(entries, entries[0])
+
+        def insert(entries, item):
+            b.insort(entries, item)
+        """,
+        select=["DET-008"],
+    )
+    assert rule_ids(result) == ["DET-008", "DET-008", "DET-008"]
+    assert "insort" in result.findings[-1].message
+
+
+def test_det008_selection_helpers_pass(tmp_path):
+    """nsmallest/merge are one-shot selection, not a standing queue, and
+    bisect_left lookups do not insert — none of them are queues."""
+    result = lint_source(
+        tmp_path,
+        """\
+        import bisect
+        import heapq
+
+        def top3(xs):
+            return heapq.nsmallest(3, xs)
+
+        def merge_sorted(a, b):
+            return list(heapq.merge(a, b))
+
+        def rank(xs, x):
+            return bisect.bisect_left(xs, x)
+        """,
+        select=["DET-008"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_det008_scheduler_backends_are_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from heapq import heappop, heappush
+
+        def push(queue, entry):
+            heappush(queue, entry)
+        """,
+        select=["DET-008"],
+        rel="src/repro/sim/timerwheel.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_det008_audited_spatial_index_is_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from heapq import heappush
+
+        def note_horizon(heap, when, radio):
+            heappush(heap, (when, radio.node_id))
+        """,
+        select=["DET-008"],
+        rel="src/repro/geo/spatial.py",
+    )
+    assert rule_ids(result) == []

@@ -269,3 +269,60 @@ def test_schedule_between_stop_and_resume(sim):
     sim.run(until=4.0)
     assert fired == [1.5]
     assert sim.now == 4.0
+
+
+# ------------------------------------------------------------ call_later
+def test_call_later_passes_priority_through(sim):
+    """Regression: ``call_later`` used to drop ``priority``, losing the
+    intended same-instant ordering of helpers scheduled through it."""
+    order = []
+    call_later(sim, 1.0, order.append, "late", priority=5)
+    call_later(sim, 1.0, order.append, "early", priority=-5)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_call_later_name_defaults_to_callable_name(sim):
+    def beacon_timer():
+        pass
+
+    event = call_later(sim, 1.0, beacon_timer)
+    assert event.name == "beacon_timer"
+    named = call_later(sim, 1.0, beacon_timer, name="custom")
+    assert named.name == "custom"
+
+
+def test_events_are_not_comparable():
+    """Backends order raw key tuples; Event deliberately has no __lt__."""
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    b = sim.schedule(2.0, lambda: None)
+    with pytest.raises(TypeError):
+        a < b  # noqa: B015 - the comparison itself is the assertion
+
+
+# ------------------------------------------------------------ compaction
+def test_mass_cancellation_compacts_backlog(sim):
+    """90%-cancel churn: the backlog must stay bounded by compaction
+    instead of holding every corpse until its original expiry."""
+    handles = [sim.schedule(1.0 + i * 1e-4, lambda: None) for i in range(4000)]
+    for i, handle in enumerate(handles):
+        if i % 10:
+            handle.cancel()
+    stats = sim.scheduler_stats()
+    assert stats["compactions"] >= 1
+    # Dead fraction is kept below half of a >COMPACT_MIN_BACKLOG backlog.
+    assert stats["backlog"] < 2 * sim.pending_events + 512
+    fired = []
+    for handle in handles:
+        if handle.pending:
+            handle.callback = lambda: fired.append(1)  # type: ignore[method-assign]
+    sim.run()
+    assert len(fired) == 400
+
+
+def test_small_backlogs_never_compact(sim):
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(100)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.scheduler_stats()["compactions"] == 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.trace import Tracer
 
 
@@ -55,6 +57,8 @@ def test_keep_false_skips_retention_but_notifies():
 
 
 def test_mute_drops_category(tracer):
+    """Old exact-category behaviour still holds: the muted category itself
+    is dropped and unmute restores it."""
     tracer.mute("noisy")
     tracer.emit(0.0, "noisy")
     tracer.emit(0.0, "quiet")
@@ -64,10 +68,90 @@ def test_mute_drops_category(tracer):
     assert len(tracer) == 2
 
 
-def test_mute_is_exact_category_not_prefix(tracer):
-    tracer.mute("a")
-    tracer.emit(0.0, "a.b")  # not muted: exact-match only
-    assert len(tracer) == 1
+def test_mute_is_prefix_based_like_subscribe(tracer):
+    """Regression for the mute/subscribe asymmetry: mute now uses the same
+    prefix semantics as subscribe/filter, so ``mac.`` mutes ``mac.drop``."""
+    tracer.mute("mac.")
+    tracer.emit(0.0, "mac.drop")
+    tracer.emit(0.0, "mac.tx")
+    tracer.emit(0.0, "route.forward")
+    assert [r.category for r in tracer] == ["route.forward"]
+    tracer.unmute("mac.")
+    tracer.emit(0.0, "mac.drop")
+    assert len(tracer) == 2
+
+
+def test_mute_suppresses_subscribers_too(tracer):
+    seen = []
+    tracer.subscribe("mac.", seen.append)
+    tracer.mute("mac.drop")
+    tracer.emit(0.0, "mac.drop")
+    tracer.emit(0.0, "mac.tx")
+    assert [r.category for r in seen] == ["mac.tx"]
+
+
+# ------------------------------------------------------------- fast path
+def test_enabled_for_reflects_keep_subscribers_and_mutes():
+    keeping = Tracer(keep=True)
+    assert keeping.enabled_for("anything")  # retained even with no listener
+    keeping.mute("mac.")
+    assert not keeping.enabled_for("mac.drop")
+
+    dropping = Tracer(keep=False)
+    assert not dropping.enabled_for("mac.tx")  # nobody listening, no log
+    dropping.subscribe("mac.", lambda r: None)
+    assert dropping.enabled_for("mac.tx")
+    assert not dropping.enabled_for("phy.tx")
+
+
+def test_drop_path_never_allocates_a_record(monkeypatch):
+    """keep=False + no matching subscriber: emit must return before the
+    TraceRecord is constructed (the zero-allocation fast path)."""
+    import repro.sim.trace as trace_module
+
+    tracer = Tracer(keep=False)
+    tracer.subscribe("app.", lambda r: None)
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+        raise AssertionError("TraceRecord allocated on the drop path")
+
+    monkeypatch.setattr(trace_module, "TraceRecord", boom)
+    tracer.emit(0.0, "mac.tx", node=1, payload=123)  # no app.* match: dropped
+    with pytest.raises(AssertionError):
+        tracer.emit(0.0, "app.send", node=1)  # matched: must allocate
+
+
+def test_bucketed_and_unbucketed_subscribers_fire_in_registration_order(tracer):
+    calls = []
+    tracer.subscribe("", lambda r: calls.append("global"))
+    tracer.subscribe("app.", lambda r: calls.append("bucketed"))
+    tracer.subscribe("ap", lambda r: calls.append("partial-head"))
+    tracer.emit(0.0, "app.send")
+    assert calls == ["global", "bucketed", "partial-head"]
+    calls.clear()
+    tracer.emit(0.0, "apple")  # no dot: only non-bucketed prefixes match
+    assert calls == ["global", "partial-head"]
+
+
+def test_subscribe_after_emit_invalidates_dispatch_cache(tracer):
+    tracer.emit(0.0, "app.send")  # primes the per-category cache
+    seen = []
+    tracer.subscribe("app.", seen.append)
+    tracer.emit(1.0, "app.send")
+    assert len(seen) == 1
+
+
+def test_dispatch_stats_surface_cache_shape(tracer):
+    tracer.subscribe("app.send", lambda r: None)
+    tracer.subscribe("", lambda r: None)
+    tracer.mute("noisy.")
+    tracer.emit(0.0, "app.send")
+    stats = tracer.dispatch_stats()
+    assert stats["subscribers"] == 2
+    assert stats["bucketed"] == 1 and stats["unbucketed"] == 1
+    assert stats["muted_prefixes"] == 1
+    assert stats["cached_categories"] >= 1
+    assert stats["retained_records"] == 1
 
 
 def test_categories_histogram(tracer):

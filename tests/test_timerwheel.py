@@ -1,0 +1,238 @@
+"""Unit tests for the scheduler backends (repro.sim.timerwheel).
+
+These drive the backends directly with hand-built entries; engine-level
+behaviour (clock contract, end-to-end equivalence) lives in
+``test_scheduler_modes.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Event
+from repro.sim.timerwheel import (
+    DEFAULT_RESOLUTION,
+    DEFAULT_SLOTS,
+    SCHEDULER_MODES,
+    CrossScheduler,
+    HeapScheduler,
+    SchedulerCoherenceError,
+    TimerWheelScheduler,
+    make_scheduler,
+    validate_scheduler_mode,
+)
+
+
+def _entry(time: float, priority: int = 0, seq: int = 0) -> tuple:
+    return (time, priority, seq, Event(time, priority, seq, lambda: None))
+
+
+def _drain(sched) -> list:
+    out = []
+    while True:
+        head = sched.pop()
+        if head is None:
+            return out
+        out.append(head[:3])
+
+
+# ------------------------------------------------------------ construction
+def test_validate_scheduler_mode():
+    for mode in SCHEDULER_MODES:
+        assert validate_scheduler_mode(mode) == mode
+    with pytest.raises(ValueError):
+        validate_scheduler_mode("calendar")
+
+
+def test_make_scheduler_builds_each_backend():
+    assert isinstance(make_scheduler("heap"), HeapScheduler)
+    wheel = make_scheduler("wheel", resolution=1e-3, slots=16)
+    assert isinstance(wheel, TimerWheelScheduler)
+    assert wheel.resolution == 1e-3 and wheel.slots == 16
+    cross = make_scheduler("cross")
+    assert isinstance(cross, CrossScheduler)
+    assert cross.wheel.resolution == DEFAULT_RESOLUTION
+    assert cross.wheel.slots == DEFAULT_SLOTS
+
+
+def test_wheel_rejects_degenerate_geometry():
+    with pytest.raises(ValueError):
+        TimerWheelScheduler(resolution=0.0)
+    with pytest.raises(ValueError):
+        TimerWheelScheduler(slots=1)
+
+
+# ----------------------------------------------------------------- ordering
+@pytest.mark.parametrize("mode", SCHEDULER_MODES)
+def test_pop_order_is_full_key_order(mode):
+    sched = make_scheduler(mode, resolution=1e-3, slots=8)
+    entries = [
+        _entry(0.005, 0, 3),   # near bucket
+        _entry(0.005, -1, 4),  # same tick, higher priority -> earlier
+        _entry(0.0001, 0, 1),  # sub-resolution: tick 0
+        _entry(0.5, 0, 2),     # far beyond the 8-slot window -> overflow
+        _entry(0.005, 0, 5),   # same (time, priority): seq breaks the tie
+    ]
+    for entry in entries:
+        sched.push(entry)
+    assert _drain(sched) == sorted(entry[:3] for entry in entries)
+
+
+def test_wheel_sub_resolution_push_lands_in_ready():
+    """Scheduling below the drained tick (same-instant callbacks) must
+    compete in the ready heap, not be binned into an already-passed
+    bucket."""
+    sched = TimerWheelScheduler(resolution=1e-3, slots=8)
+    sched.push(_entry(0.0015, seq=1))
+    first = sched.pop()
+    assert first is not None and first[2] == 1
+    # tick(0.0016) == 1 == drained tick: must go to ready, not the wheel.
+    sched.push(_entry(0.0016, seq=2))
+    assert sched.stats()["ready"] == 1
+    second = sched.pop()
+    assert second is not None and second[2] == 2
+
+
+def test_wheel_overflow_migration_and_rebase_jump():
+    """A sparse far-future population re-bases the window directly onto
+    the overflow minimum instead of stepping bucket by bucket."""
+    sched = TimerWheelScheduler(resolution=1e-3, slots=8)
+    far = [_entry(1.0 + i, seq=i + 1) for i in range(3)]  # ticks 1000, 2000, 3000
+    for entry in far:
+        sched.push(entry)
+    stats = sched.stats()
+    assert stats["overflow"] == 3 and stats["wheel"] == 0
+    assert _drain(sched) == [entry[:3] for entry in far]
+    assert sched.rebases == 3  # one jump per isolated far cluster
+
+
+def test_wheel_len_tracks_cancelled_until_collected():
+    sched = TimerWheelScheduler(resolution=1e-3, slots=8)
+    entries = [_entry(0.002, seq=i) for i in range(4)]
+    for entry in entries:
+        sched.push(entry)
+    entries[1][3].cancelled = True
+    entries[2][3].cancelled = True
+    assert len(sched) == 4  # lazy: corpses still counted in the backlog
+    assert [e[2] for e in (sched.pop(), sched.pop())] == [0, 3]
+    assert sched.pop() is None
+    assert len(sched) == 0
+
+
+@pytest.mark.parametrize("mode", SCHEDULER_MODES)
+def test_compact_removes_corpses_and_preserves_order(mode):
+    sched = make_scheduler(mode, resolution=1e-3, slots=8)
+    entries = [_entry(0.001 * (i % 20) + 0.0001 * i, seq=i) for i in range(60)]
+    for entry in entries:
+        sched.push(entry)
+    live = []
+    for i, entry in enumerate(entries):
+        if i % 3:
+            entry[3].cancelled = True
+        else:
+            live.append(entry)
+    sched.compact()
+    assert len(sched) == len(live)
+    assert _drain(sched) == sorted(entry[:3] for entry in live)
+
+
+def test_wheel_compact_leaves_stale_occupancy_markers_harmless():
+    """compact() empties buckets but leaves their ticks in the occupancy
+    heap; _advance must skip the stale markers without desync."""
+    sched = TimerWheelScheduler(resolution=1e-3, slots=16)
+    doomed = [_entry(0.001 * (i + 1), seq=i + 1) for i in range(10)]
+    survivor = _entry(0.012, seq=99)
+    for entry in doomed:
+        sched.push(entry)
+    sched.push(survivor)
+    for entry in doomed:
+        entry[3].cancelled = True
+    sched.compact()
+    assert sched.pop()[:3] == survivor[:3]
+    assert sched.pop() is None
+
+
+@pytest.mark.parametrize("mode", SCHEDULER_MODES)
+def test_iter_events_yields_live_events_only(mode):
+    sched = make_scheduler(mode, resolution=1e-3, slots=8)
+    keep = _entry(0.001, seq=1)
+    near_dead = _entry(0.002, seq=2)
+    far = _entry(5.0, seq=3)
+    for entry in (keep, near_dead, far):
+        sched.push(entry)
+    near_dead[3].cancelled = True
+    assert {event.seq for event in sched.iter_events()} == {1, 3}
+
+
+# ------------------------------------------------------------- equivalence
+def test_wheel_matches_heap_on_randomized_churn():
+    """Property check at the backend level: interleaved pushes, pops and
+    cancellations produce the identical pop sequence on both backends."""
+    rnd = random.Random(2024)
+    wheel = TimerWheelScheduler(resolution=1e-3, slots=32)
+    heap = HeapScheduler()
+    seq = 0
+    pending = []
+    wheel_popped, heap_popped = [], []
+    now = 0.0
+    for _ in range(3000):
+        action = rnd.random()
+        if action < 0.55 or not pending:
+            seq += 1
+            time = now + rnd.choice([0.0, 1e-4, 5e-3, 0.03, 2.0]) * rnd.random()
+            entry = _entry(time, rnd.randint(-2, 2), seq)
+            wheel.push(entry)
+            heap.push(entry)
+            pending.append(entry)
+        elif action < 0.85:
+            a = wheel.pop()
+            b = heap.pop()
+            assert (a and a[:3]) == (b and b[:3])
+            if a is not None:
+                now = a[0]
+                a[3].cancelled = True  # consumed, as the engine marks it
+                wheel_popped.append(a[:3])
+                heap_popped.append(b[:3])
+                pending.remove(a)
+        else:
+            victim = rnd.choice(pending)
+            victim[3].cancelled = True
+            pending.remove(victim)
+    assert wheel_popped == heap_popped
+    while True:
+        a, b = wheel.pop(), heap.pop()
+        assert (a and a[:3]) == (b and b[:3])
+        if a is None:
+            break
+        a[3].cancelled = True
+
+
+# -------------------------------------------------------------- cross mode
+def test_cross_mode_detects_injected_divergence():
+    """Tampering with one side (a push the other never saw) must raise
+    SchedulerCoherenceError on the next peek/pop."""
+    cross = make_scheduler("cross", resolution=1e-3, slots=8)
+    cross.push(_entry(0.002, seq=1))
+    cross.heap.push(_entry(0.001, seq=2))  # heap-only rogue entry
+    with pytest.raises(SchedulerCoherenceError):
+        cross.pop()
+
+
+def test_cross_mode_detects_one_sided_drain():
+    cross = make_scheduler("cross", resolution=1e-3, slots=8)
+    cross.push(_entry(0.002, seq=1))
+    cross.wheel.pop()  # consume on the wheel side only
+    with pytest.raises(SchedulerCoherenceError):
+        cross.peek()
+
+
+def test_cross_stats_surface_both_backends():
+    cross = make_scheduler("cross", resolution=1e-3, slots=8)
+    cross.push(_entry(0.002, seq=1))
+    cross.push(_entry(9.0, seq=2))
+    stats = cross.stats()
+    assert stats["backlog"] == 2
+    assert stats["heap_backlog"] == 2
+    assert stats["overflow"] == 1
