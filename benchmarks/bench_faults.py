@@ -1,0 +1,85 @@
+"""Fault-injection benchmarks: what impairment costs at runtime.
+
+Not a paper table — these price the :mod:`repro.faults` machinery:
+
+* ``test_loss_draw_1e5`` — raw per-reception judging throughput of each
+  loss model (the only code that runs on the hot PHY path when a model
+  is enabled).
+* ``test_scenario_impairment`` — **the acceptance set**: one end-to-end
+  AGFW scenario per impairment regime (``none``, ``bernoulli``,
+  ``gilbert``, ``churn``).  ``bench_to_json.py --suite faults`` derives
+  the ``*_scenario_overhead`` ratios against the ``none`` leg.  Two
+  readings: the ratios price what a dose *provokes* (lost frames trigger
+  NL-ACK retransmissions, so the Bernoulli leg runs ~1.5x the events —
+  that is protocol work, not draw machinery; churn sits near 1.0), and
+  the ``none`` leg prices the zero-cost-when-disabled guarantee — no
+  loss process is even constructed, so any regression there is a
+  fault-machinery leak into the default path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.faults import FaultPlan, make_loss_process
+from repro.metrics.faults import FaultMetrics
+from repro.sim.rng import derive_seed
+
+DRAWS = 100_000
+
+
+@pytest.mark.benchmark(group="faults")
+@pytest.mark.parametrize("model", ["bernoulli", "gilbert", "distance"])
+def test_loss_draw_1e5(benchmark, model):
+    def setup():
+        process = make_loss_process(
+            model, 0.2, {}, random.Random(11), FaultMetrics(), 250.0
+        )
+        return (process,), {}
+
+    def run(process):
+        should_drop = process.should_drop
+        drops = 0
+        for i in range(DRAWS):
+            drops += should_drop(125.0)
+        return drops
+
+    drops = benchmark.pedantic(run, setup=setup, rounds=5)
+    assert 0 < drops < DRAWS
+
+
+def _impaired_scenario(regime: str) -> float:
+    config = ScenarioConfig(
+        protocol="agfw",
+        num_nodes=60,
+        sim_time=4.0,
+        traffic_start=(0.5, 1.5),
+        num_flows=20,
+        num_senders=15,
+        seed=7,
+    )
+    if regime in ("bernoulli", "gilbert"):
+        config = replace(config, loss_model=regime, loss_rate=0.2)
+    elif regime == "churn":
+        plan = FaultPlan.churn(
+            range(config.num_nodes),
+            sim_time=config.sim_time,
+            seed=derive_seed(config.seed, "bench:churn"),
+            rate=1.0,
+            mean_downtime=0.5,
+        )
+        config = replace(config, fault_plan=plan)
+    scenario = Scenario(config)
+    result = scenario.run()
+    return result.delivery_fraction
+
+
+@pytest.mark.benchmark(group="faults")
+@pytest.mark.parametrize("regime", ["none", "bernoulli", "gilbert", "churn"])
+def test_scenario_impairment(benchmark, regime):
+    fraction = benchmark.pedantic(_impaired_scenario, args=(regime,), rounds=5)
+    assert fraction > 0.0

@@ -20,7 +20,7 @@ Output schema (``schema_version`` 1)::
 
     {
       "schema_version": 1,
-      "suite": "substrate" | "crypto" | "engine",
+      "suite": "substrate" | "crypto" | "engine" | "faults",
       "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...}},
       "derived": {"<metric>": <numerator mean / denominator mean>}
     }
@@ -39,6 +39,10 @@ Suites:
   derived wheel-vs-heap speedups for the MAC-timer-churn microbench
   (acceptance floor: 2x) and the end-to-end scenario (floor: no
   regression), plus the trace keep-vs-drop path ratio.
+* ``faults`` — fault-injection machinery (PR 5): loss-model draw
+  throughput plus end-to-end scenarios under each impairment regime;
+  derived ``*_scenario_overhead`` ratios vs the unimpaired leg (the
+  zero-cost-when-disabled guarantee).
 """
 
 from __future__ import annotations
@@ -80,6 +84,23 @@ SUITES: dict[str, dict] = {
             "crt_precompute_speedup": (
                 "test_rsa512_private_apply[recompute]",
                 "test_rsa512_private_apply[precomputed]",
+            ),
+        },
+    },
+    "faults": {
+        "file": "bench_faults.py",
+        "derived": {
+            "bernoulli_scenario_overhead": (
+                "test_scenario_impairment[bernoulli]",
+                "test_scenario_impairment[none]",
+            ),
+            "gilbert_scenario_overhead": (
+                "test_scenario_impairment[gilbert]",
+                "test_scenario_impairment[none]",
+            ),
+            "churn_scenario_overhead": (
+                "test_scenario_impairment[churn]",
+                "test_scenario_impairment[none]",
             ),
         },
     },

@@ -64,20 +64,36 @@ class AckManager:
         self._send_ack = send_ack
         self._pending: Dict[bytes, PendingSend] = {}
         self._ack_buffer: List[bytes] = []
+        #: Mirror of ``_ack_buffer`` for O(1) membership — the dedupe set
+        #: for the current flush window (see :meth:`queue_ack`).
+        self._buffered_refs: set[bytes] = set()
+        #: Single source of truth for the flush state machine: ``not None``
+        #: iff a live flush timer is armed.  Both drain paths go through
+        #: :meth:`_disarm_flush`, so the stale-``cancelled``-handle check
+        #: that used to guard re-arming is gone.
         self._flush_timer: Optional[Event] = None
         self.retransmissions = 0
         self.give_ups = 0
         self.acks_matched = 0
         self.acks_piggybacked = 0
+        self.acks_deduped = 0
 
     # ============================================================ sender side
     def watch(self, packet: object, ref: bytes) -> None:
-        """Start (or restart, on re-forward) the retransmission clock."""
+        """Start (or restart, on re-forward) the retransmission clock.
+
+        Every ``watch`` is a *fresh forwarding decision* — after a
+        give-up→re-route the packet goes to a different neighbor, so the
+        attempt counter resets and the first transmission to the new
+        forwarder waits the base ``ack_timeout``, not the exponentially
+        backed-off timeout the previous (evicted) neighbor earned.
+        """
         existing = self._pending.get(ref)
         if existing is not None and existing.timer is not None:
             existing.timer.cancel()
         pending = existing or PendingSend(packet=packet, ref=ref)
         pending.packet = packet
+        pending.attempts = 0
         pending.timer = self.sim.schedule(
             self._timeout_for(pending), lambda: self._on_timeout(ref), name="agfw.ack_to"
         )
@@ -127,11 +143,39 @@ class AckManager:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    def reset(self) -> None:
+        """Forget everything (node crash: the manager is volatile state).
+
+        Cancels every retransmission timer and the flush timer, and
+        empties the pending map and the ACK buffer.  Cumulative counters
+        survive — they are observability, not protocol state.
+        """
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        self._ack_buffer.clear()
+        self._buffered_refs.clear()
+        self._disarm_flush()
+
     # ========================================================== receiver side
     def queue_ack(self, ref: bytes) -> None:
-        """Buffer a reference; it will be flushed (or piggybacked) shortly."""
+        """Buffer a reference; it will be flushed (or piggybacked) shortly.
+
+        References are **deduplicated per flush window**: a retransmitted
+        data packet re-requests the same ref, and before the dedupe an
+        ACK frame could carry the ref several times — inflating the ACK
+        frame on the air and the ``acks_piggybacked`` / ``acks_matched``
+        accounting at both ends.  A ref queues again as soon as the
+        buffer drains (flush or piggyback), so a *lost* ACK still gets a
+        fresh copy on the next retransmission.
+        """
+        if ref in self._buffered_refs:
+            self.acks_deduped += 1
+            return
         self._ack_buffer.append(ref)
-        if self._flush_timer is None or self._flush_timer.cancelled:
+        self._buffered_refs.add(ref)
+        if self._flush_timer is None:
             self._flush_timer = self.sim.schedule(
                 _ACK_BATCH_DELAY, self._flush, name="agfw.ack_flush"
             )
@@ -140,18 +184,33 @@ class AckManager:
         """Drain buffered refs onto an outgoing data packet (piggyback mode)."""
         if not self.config.piggyback_acks or not self._ack_buffer:
             return ()
-        refs = tuple(self._ack_buffer)
-        self._ack_buffer.clear()
-        if self._flush_timer is not None:
-            self._flush_timer.cancel()
-            self._flush_timer = None
+        refs = self._drain_buffer()
         self.acks_piggybacked += len(refs)
         return refs
 
-    def _flush(self) -> None:
-        self._flush_timer = None
-        if not self._ack_buffer:
-            return
+    def _drain_buffer(self) -> Tuple[bytes, ...]:
+        """Empty the buffer + dedupe set and disarm the flush timer.
+
+        The single drain primitive both exits (flush and piggyback) go
+        through, so the invariant *flush timer armed iff a drain is
+        scheduled for a non-empty buffer* holds everywhere.
+        """
         refs = tuple(self._ack_buffer)
         self._ack_buffer.clear()
-        self._send_ack(refs)
+        self._buffered_refs.clear()
+        self._disarm_flush()
+        return refs
+
+    def _disarm_flush(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+
+    def _flush(self) -> None:
+        # The engine marks a consumed event cancelled before the callback
+        # runs, so cancel() inside _disarm_flush is a no-op here — but the
+        # state machine no longer *relies* on that: _flush_timer is nulled
+        # through the same primitive as every other transition.
+        refs = self._drain_buffer()
+        if refs:
+            self._send_ack(refs)

@@ -181,6 +181,19 @@ class AgfwRouter(BaseRouter):
         self.ant.purge(self.sim.now)
         self.sim.schedule(self.config.beacon_interval, self._purge_tick, name="agfw.purge")
 
+    # ------------------------------------------------------ lifecycle faults
+    def on_fault_down(self) -> None:
+        """Crash: ANT entries, pending NL-ACK watches, buffered ACK refs,
+        reroute counters, and hellos parked for certificates are all
+        volatile — none of it survives a power cycle.  The duplicate-uid
+        sets are kept (they stand in for an on-flash duplicate cache;
+        clearing them would double-count deliveries on re-reception)."""
+        super().on_fault_down()
+        self.ant.clear()
+        self.acks.reset()
+        self._hellos_awaiting_certs.clear()
+        self._reroutes.clear()
+
     # ============================================================= beaconing
     def send_beacon(self) -> None:
         pseudonym = self.pseudonyms.new_pseudonym()
@@ -202,7 +215,15 @@ class AgfwRouter(BaseRouter):
             auth=attachment,
         )
         # Ring signing is CPU work; the hello leaves after it completes.
-        self.sim.schedule(delay, lambda: self.node.mac.send(hello, BROADCAST), name="aant.sign")
+        # A crash during the signing window discards the half-signed hello
+        # (the epoch check), matching the volatile-state contract.
+        epoch = self._fault_epoch
+
+        def _transmit_signed() -> None:
+            if self._fault_epoch == epoch:
+                self.node.mac.send(hello, BROADCAST)
+
+        self.sim.schedule(delay, _transmit_signed, name="aant.sign")
 
     # ============================================================== receive
     def on_packet(self, packet: Packet, frame: MacFrame) -> None:
@@ -248,8 +269,11 @@ class AgfwRouter(BaseRouter):
         valid, delay = self.authenticator.verify_hello(
             hello.auth, hello.pseudonym, hello.position, hello.timestamp
         )
+        epoch = self._fault_epoch
 
         def _apply() -> None:
+            if self._fault_epoch != epoch:
+                return  # crashed mid-verify: pre-crash state must not leak
             if valid:
                 self.ant.update(
                     hello.pseudonym, hello.position, hello.timestamp, hello.velocity
@@ -435,8 +459,11 @@ class AgfwRouter(BaseRouter):
         contents, delay = self.trapdoors.try_open(
             packet.trapdoor, self.node.identity, private_key
         )
+        epoch = self._fault_epoch
 
         def _done() -> None:
+            if self._fault_epoch != epoch:
+                return  # crashed while the private-key op was in flight
             if contents is not None:
                 on_opened(packet, contents)
             else:
@@ -554,8 +581,11 @@ class AgfwRouter(BaseRouter):
         )
         self._trace_app_send(packet.uid, dest_identity, payload_bytes)
         self._handled_uids.add(packet.uid)
+        epoch = self._fault_epoch
 
         def _launch() -> None:
+            if self._fault_epoch != epoch:
+                return  # crashed while sealing the trapdoor
             if dest_identity == self.node.identity:  # degenerate loopback
                 self._accept(packet, contents)
                 return

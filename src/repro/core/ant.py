@@ -79,6 +79,10 @@ class AnonymousNeighborTable:
             del self._entries[pseudonym]
         return len(dead)
 
+    def clear(self) -> None:
+        """Drop every entry (node crash: the ANT is volatile state)."""
+        self._entries.clear()
+
     # --------------------------------------------------------------- queries
     def get(self, pseudonym: bytes) -> Optional[AntEntry]:
         return self._entries.get(pseudonym)

@@ -60,6 +60,7 @@ class Trapdoor:
     ciphertext: Optional[bytes] = None
     _sealed_for: Optional[str] = field(default=None, repr=False)
     _contents: Optional[TrapdoorContents] = field(default=None, repr=False)
+    _ref: Optional[bytes] = field(default=None, repr=False)
 
     def wire_view(self) -> dict:
         """The sniffer's view: an opaque blob of a known size."""
@@ -68,13 +69,28 @@ class Trapdoor:
     def ref_bytes(self) -> bytes:
         """A short reference 'uniquely determining the packet' for NL-ACKs.
 
-        Real mode hashes the ciphertext; modeled mode uses the object id
-        (unique per sealed trapdoor within a run).
-        """
-        if self.ciphertext is not None:
-            from repro.crypto.hashing import sha256
+        Factory-sealed trapdoors carry a precomputed ``_ref``: a hash of
+        the sealed tuple plus a per-factory sequence number, so refs are
+        globally unique (only the originator seals, and ``(originator,
+        seq)`` never repeats) and — critically — **deterministic**.
 
-            return sha256(self.ciphertext)[:8]
+        The previous implementation used ``id(self)`` in modeled mode.
+        Memory addresses are recycled: once a delivered packet's trapdoor
+        was garbage-collected, a *new* trapdoor could be allocated at the
+        same address while some node still held a pending ACK watch on
+        the old ref — a cross-packet ACK collision whose occurrence
+        depended on allocator state (and therefore on ``PYTHONHASHSEED``
+        and process history, not on the simulation seed).  Loss-heavy
+        runs, which churn trapdoors through retransmissions and
+        give-ups, made runs visibly hash-seed dependent.
+
+        The ``id``-based fallback remains only for hand-built trapdoors
+        in unit tests; every factory product carries ``_ref``.
+        """
+        if self._ref is not None:
+            return self._ref
+        if self.ciphertext is not None:
+            return _sha256(self.ciphertext)[:8]
         return id(self).to_bytes(8, "little", signed=False)
 
 
@@ -102,6 +118,11 @@ class TrapdoorFactory:
         #: stays optional so modeled factories need no stream, but real
         #: sealing without one is rejected at use (see :meth:`seal`).
         self.rng = rng
+        #: Per-factory seal counter feeding :meth:`Trapdoor.ref_bytes`:
+        #: factories are per-originator, so ``(src_identity, seq)`` is
+        #: globally unique and refs never collide — deterministically,
+        #: unlike the recycled memory addresses they replace.
+        self._seal_seq = 0
 
     # ------------------------------------------------------------------ seal
     def seal(
@@ -126,12 +147,27 @@ class TrapdoorFactory:
                 )
             plaintext = self._pack(contents)
             ciphertext = dest_public_key.encrypt(plaintext, rng=self.rng)
-            trapdoor = Trapdoor(size_bytes=len(ciphertext), ciphertext=ciphertext)
+            trapdoor = Trapdoor(
+                size_bytes=len(ciphertext),
+                ciphertext=ciphertext,
+                _ref=_sha256(ciphertext)[:8],
+            )
         else:
+            self._seal_seq += 1
+            token = (
+                f"{contents.src_identity}|{dest_identity}|{self._seal_seq}".encode()
+                + struct.pack(
+                    "<ddd",
+                    contents.src_location.x,
+                    contents.src_location.y,
+                    contents.timestamp,
+                )
+            )
             trapdoor = Trapdoor(
                 size_bytes=self.cost.trapdoor_bytes,
                 _sealed_for=dest_identity,
                 _contents=contents,
+                _ref=_sha256(token)[:8],
             )
         return trapdoor, self.cost.pk_encrypt_s
 

@@ -17,10 +17,11 @@ latency rising steeply beyond it as RTS/CTS contention bites.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import parallel_map
 from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.faults.plan import FaultPlan
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -74,6 +75,7 @@ def run_fig1(
     seed: int = 1,
     base: ScenarioConfig | None = None,
     jobs: int = 1,
+    churn: Optional[Tuple[float, Optional[float]]] = None,
 ) -> List[Fig1Point]:
     """Run the full density sweep and return all points.
 
@@ -84,21 +86,39 @@ def run_fig1(
     independent and, crucially, *identical whether the sweep runs
     serially or fanned over ``jobs`` worker processes* — the point's
     whole random state is a pure function of its config.
+
+    ``churn`` is ``(rate, mean_downtime)`` to run the whole sweep under
+    seeded node churn (``mean_downtime=None`` defaults to a tenth of the
+    run); each point gets its own :class:`~repro.faults.FaultPlan` from
+    a child seed, so the default ``churn=None`` path is byte-identical
+    to the pre-fault harness.
     """
     template = base if base is not None else ScenarioConfig()
     start_hi = min(30.0, max(3.0, sim_time / 10.0))
-    configs = [
-        replace(
-            template,
-            protocol=scheme,
-            num_nodes=count,
-            sim_time=sim_time,
-            seed=derive_seed(seed, f"fig1:{scheme}:{count}"),
-            traffic_start=(1.0, start_hi),
-        )
-        for scheme in schemes
-        for count in node_counts
-    ]
+    downtime = None
+    if churn is not None:
+        downtime = churn[1] if churn[1] is not None else max(sim_time / 10.0, 0.5)
+    configs = []
+    for scheme in schemes:
+        for count in node_counts:
+            cfg = replace(
+                template,
+                protocol=scheme,
+                num_nodes=count,
+                sim_time=sim_time,
+                seed=derive_seed(seed, f"fig1:{scheme}:{count}"),
+                traffic_start=(1.0, start_hi),
+            )
+            if churn is not None:
+                plan = FaultPlan.churn(
+                    range(count),
+                    sim_time=sim_time,
+                    seed=derive_seed(seed, f"fig1:churn:{scheme}:{count}"),
+                    rate=churn[0],
+                    mean_downtime=downtime,
+                )
+                cfg = replace(cfg, fault_plan=plan)
+            configs.append(cfg)
     return parallel_map(_run_fig1_point, configs, jobs=jobs)
 
 

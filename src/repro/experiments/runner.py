@@ -18,6 +18,8 @@ from repro.experiments.fig1 import (
     format_fig1b,
     run_fig1,
 )
+from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
+from repro.faults import LOSS_MODELS
 from repro.experiments.overhead import (
     aant_overhead_table,
     format_aant_overhead,
@@ -62,10 +64,41 @@ def main(argv: list[str] | None = None) -> int:
         "--skip",
         nargs="*",
         default=[],
-        choices=["fig1", "exposure", "aant", "als"],
+        choices=["fig1", "exposure", "aant", "als", "faults"],
         help="experiments to skip",
     )
+    parser.add_argument(
+        "--loss-model",
+        choices=LOSS_MODELS,
+        default="none",
+        help="channel-loss model applied to the density sweep "
+        "(the default 'none' keeps the pre-fault byte-identical traces)",
+    )
+    parser.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="loss dose for --loss-model (Bernoulli/steady-state drop "
+        "probability or distance-loss ceiling)",
+    )
+    parser.add_argument(
+        "--fault-churn",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar=("RATE", "DOWNTIME"),
+        help="inject seeded node churn into the density sweep: expected "
+        "crashes per node over the run, optionally followed by the mean "
+        "downtime in seconds",
+    )
     args = parser.parse_args(argv)
+    if args.loss_model == "none" and args.loss_rate:
+        parser.error("--loss-rate requires --loss-model")
+    churn = None
+    if args.fault_churn is not None:
+        if not 1 <= len(args.fault_churn) <= 2:
+            parser.error("--fault-churn takes RATE [MEAN_DOWNTIME]")
+        churn = (args.fault_churn[0], args.fault_churn[1] if len(args.fault_churn) == 2 else None)
 
     sim_time = args.sim_time if args.sim_time is not None else (900.0 if args.full else 20.0)
     counts = tuple(args.nodes) if args.nodes else (
@@ -73,13 +106,24 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     if "fig1" not in args.skip:
-        print(f"# Density sweep ({sim_time:.0f} s per point, seed {args.seed})\n")
+        impairments = []
+        if args.loss_model != "none":
+            impairments.append(f"loss {args.loss_model} p={args.loss_rate:g}")
+        if churn is not None:
+            impairments.append(f"churn r={churn[0]:g}")
+        suffix = f", {'; '.join(impairments)}" if impairments else ""
+        print(f"# Density sweep ({sim_time:.0f} s per point, seed {args.seed}{suffix})\n")
         points = run_fig1(
             node_counts=counts,
             sim_time=sim_time,
             seed=args.seed,
             jobs=args.jobs,
-            base=ScenarioConfig(scheduler_mode=args.scheduler),
+            base=ScenarioConfig(
+                scheduler_mode=args.scheduler,
+                loss_model=args.loss_model,
+                loss_rate=args.loss_rate,
+            ),
+            churn=churn,
         )
         print(format_fig1a(points))
         print()
@@ -103,6 +147,18 @@ def main(argv: list[str] | None = None) -> int:
         print("# ALS vs DLM overhead (Sections 3.3 & 5)\n")
         reports = run_location_service_comparison(seed=args.seed, jobs=args.jobs)
         print(format_location_service_comparison(reports))
+        print()
+
+    if "faults" not in args.skip:
+        fault_time = min(sim_time, 20.0)
+        print(f"# Robustness sweep ({fault_time:.0f} s per point, seed {args.seed})\n")
+        fault_points = run_faults_sweep(
+            sim_time=fault_time,
+            seed=args.seed,
+            jobs=args.jobs,
+            base=ScenarioConfig(scheduler_mode=args.scheduler),
+        )
+        print(format_faults_sweep(fault_points))
         print()
 
     return 0

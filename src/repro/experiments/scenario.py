@@ -25,9 +25,12 @@ from repro.core.agfw import AgfwRouter
 from repro.core.config import AantConfig, AgfwConfig
 from repro.crypto.cache import validate_cache_mode
 from repro.crypto.certificates import CertificateAuthority
+from repro.faults.loss import make_loss_process, validate_loss_model
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.geo.region import Region
 from repro.location.service import OracleLocationService
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
+from repro.metrics.faults import FaultMetrics
 from repro.metrics.stats import Summary, summarize
 from repro.net.medium import RadioMedium
 from repro.net.mobility import RandomWaypointMobility, StaticMobility
@@ -98,6 +101,16 @@ class ScenarioConfig:
     # see repro.crypto.cache.
     crypto_cache_mode: str = "on"
 
+    # Faults (defaults = the exact seed behaviour; see repro.faults).
+    # loss_model: "none" | "bernoulli" | "gilbert" | "distance" — a seeded
+    # per-reception channel loss process at every receiver.
+    loss_model: str = "none"
+    loss_rate: float = 0.0
+    loss_params: Dict[str, float] = dc_field(default_factory=dict)
+    # A FaultPlan of crash/recover/pause/churn events (picklable, so it
+    # ships through --jobs pools); None = no lifecycle faults.
+    fault_plan: Optional[FaultPlan] = None
+
     # Instrumentation.
     keep_trace: bool = False
     with_sniffer: bool = False
@@ -111,6 +124,11 @@ class ScenarioConfig:
             raise ValueError("sim_time must be positive")
         validate_cache_mode(self.crypto_cache_mode)
         validate_scheduler_mode(self.scheduler_mode)
+        validate_loss_model(self.loss_model)
+        if self.loss_model == "none" and (self.loss_rate or self.loss_params):
+            raise ValueError(
+                "loss_rate / loss_params require a loss_model other than 'none'"
+            )
 
 
 @dataclass
@@ -129,6 +147,9 @@ class ScenarioResult:
     wallclock_seconds: float
     bytes_by_kind: Dict[str, int] = dc_field(default_factory=dict)
     frames_by_kind: Dict[str, int] = dc_field(default_factory=dict)
+    #: repro.metrics.faults counters — empty when no impairment was
+    #: configured, so pre-faults result dictionaries stay unchanged.
+    fault_counters: Dict[str, float] = dc_field(default_factory=dict)
 
     @property
     def goodput_bytes(self) -> int:
@@ -179,6 +200,8 @@ class Scenario:
         self.ca: Optional[CertificateAuthority] = None
         self.nodes: List[Node] = []
         self.sources: List[CbrSource] = []
+        self.fault_metrics = FaultMetrics()
+        self.fault_injector: Optional[FaultInjector] = None
         self._build()
 
     # ------------------------------------------------------------- building
@@ -202,6 +225,29 @@ class Scenario:
             node = Node(self.sim, node_id, self.medium, mobility, self.rngs, self.tracer)
             self.nodes.append(node)
         self.oracle.register_all(self.nodes)
+
+        # Channel impairment: one loss process per receiver, each on its
+        # own per-purpose derived stream, so loss draws at one node never
+        # perturb another node's chain (byte-identical across --jobs
+        # pools).  With loss_model="none" nothing is created at all — the
+        # reception path runs the exact seed instructions.
+        if cfg.loss_model != "none":
+            loss_rngs = self.rngs.fork("faults")
+            for node in self.nodes:
+                node.phy.set_loss_process(
+                    make_loss_process(
+                        cfg.loss_model,
+                        cfg.loss_rate,
+                        cfg.loss_params,
+                        rng=loss_rngs.stream(f"loss:{node.node_id}"),
+                        metrics=self.fault_metrics,
+                        radio_range=cfg.radio_range,
+                    )
+                )
+        if cfg.fault_plan is not None and cfg.fault_plan:
+            self.fault_injector = FaultInjector(
+                self.sim, self.nodes, cfg.fault_plan, self.fault_metrics, self.tracer
+            )
 
         if cfg.real_crypto:
             self._provision_pki()
@@ -282,7 +328,11 @@ class Scenario:
             node.start()
         for source in self.sources:
             source.start()
+        if self.fault_injector is not None:
+            self.fault_injector.arm()
         self.sim.run(until=self.config.sim_time)
+        if self.fault_injector is not None:
+            self.fault_injector.finalize(self.sim.now)
         wallclock = _wall.perf_counter() - started
 
         totals = RouterStats()
@@ -301,6 +351,9 @@ class Scenario:
         frames_by_kind = {
             kind: counter.frames for kind, counter in self.overhead.by_kind.items()
         }
+        fault_counters: Dict[str, float] = {}
+        if self.config.loss_model != "none" or self.fault_injector is not None:
+            fault_counters = dict(self.fault_metrics.counters())
         return ScenarioResult(
             config=self.config,
             sent=self.delivery.sent,
@@ -314,6 +367,7 @@ class Scenario:
             wallclock_seconds=wallclock,
             bytes_by_kind=bytes_by_kind,
             frames_by_kind=frames_by_kind,
+            fault_counters=fault_counters,
         )
 
 

@@ -157,6 +157,14 @@ class SpatialIndex:
             subscribe(lambda e=entry: self._invalidate(e))
         self._bin(entry, now, first=True)
 
+    def invalidate_all(self) -> None:
+        """Drop every version-stamped derived cache (gather cache here,
+        the medium's static fan-out memo downstream) by bumping the
+        version.  Binning is untouched — node lifecycle faults change
+        radio *liveness*, never geometry — so candidate queries keep
+        their exactness proof while stamped consumers rebuild lazily."""
+        self._version += 1
+
     def _invalidate(self, entry: _Entry) -> None:
         # A teleport can land inside the same cell, which changes positions
         # without changing membership — bump the version so position-derived

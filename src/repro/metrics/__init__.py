@@ -1,5 +1,5 @@
-"""Metrics: online collectors, summary statistics, crypto-cache and
-substrate (scheduler/tracer) counters."""
+"""Metrics: online collectors, summary statistics, crypto-cache,
+substrate (scheduler/tracer), and fault-injection counters."""
 
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
 from repro.metrics.crypto import (
@@ -12,12 +12,15 @@ from repro.metrics.engine import (
     scheduler_counters,
     tracer_counters,
 )
+from repro.metrics.faults import FaultMetrics, format_faults_report
 from repro.metrics.stats import Summary, mean_confidence_interval, percentile, summarize
 
 __all__ = [
     "DeliveryCollector",
     "OverheadCollector",
     "Summary",
+    "FaultMetrics",
+    "format_faults_report",
     "crypto_cache_counters",
     "crypto_cache_hit_rates",
     "format_crypto_cache_report",

@@ -79,6 +79,7 @@ class MacStats:
     retries: int = 0
     retry_drops: int = 0
     queue_drops: int = 0
+    down_drops: int = 0
     delivered_up: int = 0
     bytes_tx: int = 0
 
@@ -107,6 +108,8 @@ class DcfMac:
         self.queue_limit = queue_limit
         self.receive_callback: Optional[ReceiveCallback] = None
         self.stats = MacStats()
+        #: Lifecycle fault flag — set via :meth:`on_node_down`.
+        self.down = False
 
         self._queue: Deque[TxOp] = deque()
         self._op: Optional[TxOp] = None
@@ -132,8 +135,13 @@ class DcfMac:
 
         ``on_complete(True)`` fires when a unicast is MAC-acknowledged or a
         broadcast leaves the antenna; ``on_complete(False)`` on retry-limit
-        or queue overflow.
+        or queue overflow.  While the node is *down* (lifecycle fault)
+        the send vanishes silently — a crashed station invokes nobody's
+        callbacks.
         """
+        if self.down:
+            self.stats.down_drops += 1
+            return
         if len(self._queue) >= self.queue_limit:
             self.stats.queue_drops += 1
             self._trace("mac.ifq_drop", packet_uid=packet.uid, packet_kind=packet.kind)
@@ -153,6 +161,8 @@ class DcfMac:
             self._start_next()
 
     def _start_next(self) -> None:
+        if self.down:
+            return
         if self._op is not None or self._state is not MacState.IDLE:
             return
         if not self._queue:
@@ -224,6 +234,36 @@ class DcfMac:
         """PHY callback: resume contention (also fires after own TX ends)."""
         if self._state is MacState.CONTEND:
             self._try_contend()
+
+    # ======================================================= lifecycle faults
+    def on_node_down(self) -> None:
+        """Node crashed: volatile MAC state is gone.
+
+        The interface queue, the in-flight op, every timer, the
+        contention window, and the NAV are wiped — none of it survives a
+        power cycle.  Dropped ops do *not* get completion callbacks: the
+        router that registered them is crashing too (its volatile state
+        is cleared by ``on_fault_down``), so nobody is alive to react.
+        """
+        self.down = True
+        self._cancel(("_difs_timer", "_slot_timer", "_wait_timer", "_nav_timer"))
+        dropped = len(self._queue) + (1 if self._op is not None else 0)
+        if dropped:
+            self.stats.down_drops += dropped
+        self._queue.clear()
+        self._op = None
+        self._state = MacState.IDLE
+        self._cw = self.params.cw_min
+        self._nav_until = 0.0
+
+    def on_node_up(self) -> None:
+        """Node rebooted: resume from pristine (empty) MAC state.
+
+        :meth:`on_node_down` already reset everything; carrier state is
+        re-learned from the PHY's live energy bookkeeping on the next
+        busy/idle transition.
+        """
+        self.down = False
 
     # ========================================================== transmission
     def _transmit_current(self) -> None:
@@ -371,6 +411,8 @@ class DcfMac:
         """Send a SIFS-spaced response (CTS or ACK) without carrier sensing."""
 
         def _fire() -> None:
+            if self.down:  # crashed between reception and the SIFS response
+                return
             if self.phy._own_tx is not None:  # half-duplex clash; response lost
                 return
             duration = frame.duration(self.params)
@@ -401,6 +443,8 @@ class DcfMac:
         self._start_next()
 
     def _complete(self, op: TxOp, success: bool) -> None:
+        if self.down:  # crashed mid-flight: nobody is alive to notify
+            return
         if op.on_complete is not None:
             op.on_complete(success)
         if self._op is None and self._state is MacState.IDLE:

@@ -254,6 +254,21 @@ class RadioMedium:
         self.sim.schedule(duration, _finish, priority=-1, name="phy.tx_end")
         return tx
 
+    # --------------------------------------------------------------- faults
+    def invalidate_radio(self, radio: "PhyRadio") -> None:
+        """A radio's liveness changed (crash/recover): drop derived caches.
+
+        Geometry is untouched — a down node still occupies space and
+        blocks/interferes as energy — but any cached fan-out the caller
+        may layer on liveness must rebuild, so the static fan-out memo is
+        dropped and the spatial index version is bumped (which also
+        drops its gather cache).  Never called on the no-faults path, so
+        the seed behaviour is byte-identical.
+        """
+        self._fanout_memo.clear()
+        if self._index is not None:
+            self._index.invalidate_all()
+
     # -------------------------------------------------------------- queries
     def neighbors_within(self, radio: "PhyRadio", rng: float) -> List["PhyRadio"]:
         """Radios within ``rng`` metres of ``radio`` (excluding itself)."""

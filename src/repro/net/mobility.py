@@ -41,6 +41,14 @@ class StaticMobility:
     so consumers that cache positions (the medium's spatial index)
     register a callback via :meth:`subscribe` and are notified on every
     teleport.
+
+    .. note::
+       Teleporting a node far away is **not** failure injection: the
+       node keeps beaconing and receiving from its new position, it
+       merely leaves radio range.  Genuine crash/recover semantics (tx
+       and rx stop, volatile state lost) live in
+       :class:`repro.faults.FaultPlan` /
+       :meth:`repro.net.node.Node.fail`.
     """
 
     def __init__(self, position: Position) -> None:
@@ -58,7 +66,13 @@ class StaticMobility:
         self._listeners.append(callback)
 
     def move_to(self, position: Position) -> None:
-        """Teleport (topology manipulation in tests)."""
+        """Teleport (topology manipulation in tests).
+
+        A same-position "teleport" is a no-op and notifies nobody —
+        listeners invalidate caches, and there is nothing to invalidate.
+        """
+        if position == self._position:
+            return
         self._position = position
         for callback in self._listeners:
             callback()

@@ -93,6 +93,52 @@ class Node:
             raise RuntimeError(f"node {self.node_id} has no router attached")
         self.router.start()
 
+    # ------------------------------------------------------ lifecycle faults
+    @property
+    def down(self) -> bool:
+        """True while the node is crashed (see :meth:`fail`)."""
+        return self.phy.down
+
+    def fail(self) -> bool:
+        """Take the node genuinely down (crash / power loss).
+
+        No tx, no rx, beacons stop, volatile MAC and router state is
+        lost, and the medium's liveness-derived caches are invalidated —
+        in contrast to the legacy teleport hack, which kept the node
+        transmitting from far away.  Idempotent; returns True when the
+        node actually transitioned up -> down.
+        """
+        if self.phy.down:
+            return False
+        self.phy.down = True
+        self.mac.on_node_down()
+        router = self.router
+        if router is not None:
+            on_fault_down = getattr(router, "on_fault_down", None)
+            if callable(on_fault_down):
+                on_fault_down()
+        self.phy.medium.invalidate_radio(self.phy)
+        return True
+
+    def recover(self) -> bool:
+        """Bring a crashed node back up (reboot: empty volatile state).
+
+        Beaconing restarts from a fresh offset, so neighbors relearn the
+        node exactly as they would a newly joined station.  Idempotent;
+        returns True when the node actually transitioned down -> up.
+        """
+        if not self.phy.down:
+            return False
+        self.phy.down = False
+        self.mac.on_node_up()
+        router = self.router
+        if router is not None:
+            on_fault_up = getattr(router, "on_fault_up", None)
+            if callable(on_fault_up):
+                on_fault_up()
+        self.phy.medium.invalidate_radio(self.phy)
+        return True
+
     # -------------------------------------------------------------- queries
     @property
     def position(self) -> Position:

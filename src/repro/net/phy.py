@@ -6,6 +6,17 @@ carrier-sense state to the MAC.
 
 Half-duplex: a radio that transmits cannot receive, and starting a
 transmission corrupts anything it was in the middle of receiving.
+
+Fault hooks (both absent by default — the seed code path is unchanged):
+
+* an optional per-receiver **channel loss process**
+  (:mod:`repro.faults.loss`) judges every deliverable reception once,
+  in event order, and can eat it — modelling fading/shadowing losses
+  the unit-disk collision model cannot produce;
+* a **down** flag (set by :meth:`repro.net.node.Node.fail`) makes the
+  radio genuinely deaf and mute: nothing is delivered and the MAC gets
+  no carrier callbacks, while impinging-energy bookkeeping still runs
+  so carrier state is correct the instant the node recovers.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.loss import LossProcess
     from repro.net.mac.dcf import DcfMac
     from repro.net.medium import RadioMedium, Transmission
 
@@ -55,10 +67,25 @@ class PhyRadio:
         self._corrupted: set[int] = set()
         self._own_tx: Optional[Transmission] = None
         self._last_ended_corrupted = False
+        #: Channel loss process (``None`` = the unimpaired seed channel).
+        self._loss: Optional["LossProcess"] = None
+        #: Lifecycle fault flag — managed by :meth:`repro.net.node.Node.fail`.
+        self.down = False
 
         self.frames_delivered = 0
         self.frames_collided = 0
+        self.frames_impaired = 0
         medium.register(self)
+
+    # ---------------------------------------------------------------- faults
+    def set_loss_process(self, process: Optional["LossProcess"]) -> None:
+        """Install this receiver's channel-loss process (``None`` = none).
+
+        With no process the reception path below runs exactly the
+        pre-faults instructions — traces stay byte-identical to the
+        unimpaired simulator.
+        """
+        self._loss = process
 
     # -------------------------------------------------------------- position
     @property
@@ -92,7 +119,7 @@ class PhyRadio:
 
     def end_transmit(self, tx: "Transmission") -> None:
         self._own_tx = None
-        if not self._impinging and self.mac is not None:
+        if not self._impinging and self.mac is not None and not self.down:
             self.mac.on_channel_idle()
 
     # ------------------------------------------------------------ reception
@@ -113,17 +140,45 @@ class PhyRadio:
                 self._corrupted.add(tx.uid)
         self._impinging[tx.uid] = tx
         self._distances[tx.uid] = new_distance
-        if was_idle and self.mac is not None:
+        if was_idle and self.mac is not None and not self.down:
             self.mac.on_channel_busy()
 
     def on_tx_end(self, tx: "Transmission") -> None:
         self._impinging.pop(tx.uid, None)
-        self._distances.pop(tx.uid, None)
+        distance = self._distances.pop(tx.uid, 0.0)
         corrupted = tx.uid in self._corrupted
         self._corrupted.discard(tx.uid)
 
+        if self.down:
+            # A dead radio decodes nothing and owes the MAC no carrier
+            # callbacks.  The energy bookkeeping above still ran, so
+            # carrier_busy is correct the instant the node recovers — and
+            # the loss process is *not* consulted: its stream position is
+            # a pure function of receptions judged while alive.
+            return
+
         deliverable = self.node_id in tx.deliverable_to
-        if deliverable and not corrupted:
+        impaired = False
+        if deliverable and self._loss is not None:
+            # The channel-state draw happens for *every* deliverable
+            # reception — independent of interference outcomes — so the
+            # RNG stream position depends only on the traffic pattern.
+            impaired = self._loss.should_drop(distance)
+            if impaired and not corrupted:
+                # The observable damage: a reception that would have been
+                # delivered.  Collided receptions were already lost.
+                self._loss.metrics.deliveries_suppressed += 1
+                self.frames_impaired += 1
+                if self.tracer is not None and self.tracer.enabled_for("phy.fault_drop"):
+                    self.tracer.emit(
+                        self.sim.now,
+                        "phy.fault_drop",
+                        node=self.node_id,
+                        frame_uid=tx.frame.uid,
+                        frame_kind=tx.frame.kind.value,
+                        distance=distance,
+                    )
+        if deliverable and not corrupted and not impaired:
             self.frames_delivered += 1
             if self.mac is not None:
                 self.mac.on_frame(tx.frame, tx)
@@ -137,6 +192,9 @@ class PhyRadio:
                     frame_uid=tx.frame.uid,
                     frame_kind=tx.frame.kind.value,
                 )
+        # deliverable and impaired but not corrupted: the frame faded
+        # below sensitivity — neither delivered nor a CRC failure, so the
+        # EIFS decision below treats it like plain channel noise.
 
         if not self.carrier_busy:
             # EIFS applies only after a decodable frame failed its CRC; a

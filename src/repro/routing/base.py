@@ -72,6 +72,12 @@ class BaseRouter:
         self.stats = RouterStats()
         self._rng: random.Random = node.rng("router")
         self._started = False
+        self._beacon_timer = None
+        #: Bumped on every crash; delayed closures (crypto delays, signing)
+        #: capture the epoch at schedule time and discard themselves when a
+        #: crash intervened — state computed before the crash must not leak
+        #: into the rebooted router.
+        self._fault_epoch = 0
         #: Extra packet handlers (location-service agents register here).
         self.packet_handlers: dict[type, object] = {}
 
@@ -87,14 +93,36 @@ class BaseRouter:
         self._started = True
         # First beacon at a uniform offset so the network's beacons desynchronize.
         first = self._rng.uniform(0.0, self.config.beacon_interval)
-        self.sim.schedule(first, self._beacon_tick, name="router.beacon")
+        self._beacon_timer = self.sim.schedule(first, self._beacon_tick, name="router.beacon")
 
     def _beacon_tick(self) -> None:
         self.send_beacon()
         self.stats.beacons_sent += 1
         jitter = self.config.beacon_jitter
         interval = self.config.beacon_interval * self._rng.uniform(1 - jitter, 1 + jitter)
-        self.sim.schedule(interval, self._beacon_tick, name="router.beacon")
+        self._beacon_timer = self.sim.schedule(interval, self._beacon_tick, name="router.beacon")
+
+    # ------------------------------------------------------ lifecycle faults
+    def on_fault_down(self) -> None:
+        """Node crashed: stop beaconing and forget volatile routing state.
+
+        The base implementation stops the beacon clock and bumps the
+        fault epoch (see ``_fault_epoch``); subclasses clear their
+        neighbor structures and reliability machinery on top.
+        """
+        self._fault_epoch += 1
+        if self._beacon_timer is not None:
+            self._beacon_timer.cancel()
+            self._beacon_timer = None
+        self._started = False
+
+    def on_fault_up(self) -> None:
+        """Node rebooted: restart beaconing from a fresh offset.
+
+        The first post-reboot beacon lands at a new uniform offset — a
+        rebooting station re-desynchronizes like a freshly started one.
+        """
+        self.start()
 
     # --------------------------------------------------------------- hooks
     def send_beacon(self) -> None:

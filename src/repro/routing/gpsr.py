@@ -107,6 +107,16 @@ class GpsrRouter(BaseRouter):
         self.table.purge(self.sim.now)
         self.sim.schedule(self.config.beacon_interval, self._purge_tick, name="gpsr.purge")
 
+    # ------------------------------------------------------ lifecycle faults
+    def on_fault_down(self) -> None:
+        """Crash: the beaconed neighbor table and the duplicate cache are
+        volatile — a rebooted router relearns the neighborhood from
+        scratch (the purge tick keeps running; purging an empty table is
+        a no-op)."""
+        super().on_fault_down()
+        self.table.clear()
+        self._seen.clear()
+
     # ------------------------------------------------------------- beaconing
     def send_beacon(self) -> None:
         beacon = GpsrBeacon(

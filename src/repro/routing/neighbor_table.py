@@ -54,6 +54,10 @@ class NeighborTable:
             del self._entries[key]
         return len(expired)
 
+    def clear(self) -> None:
+        """Drop every entry (node crash: volatile state does not survive)."""
+        self._entries.clear()
+
     def get(self, identity: str) -> Optional[NeighborEntry]:
         return self._entries.get(identity)
 

@@ -10,8 +10,10 @@ import pytest
 
 from repro.core.agfw import AgfwRouter
 from repro.core.config import AgfwConfig
+from repro.faults import FaultInjector, FaultPlan, make_loss_process
 from repro.geo.vec import Position
 from repro.location.service import OracleLocationService
+from repro.metrics.faults import FaultMetrics
 from repro.net.medium import RadioMedium
 from repro.net.mobility import StaticMobility
 from repro.net.node import Node
@@ -30,6 +32,8 @@ class TestNet:
     medium: RadioMedium
     nodes: List[Node]
     oracle: OracleLocationService
+    fault_metrics: Optional[FaultMetrics] = None
+    fault_injector: Optional[FaultInjector] = None
 
     def node_at(self, index: int) -> Node:
         return self.nodes[index]
@@ -49,8 +53,18 @@ def build_static_net(
     gpsr_config: Optional[GpsrConfig] = None,
     start: bool = True,
     attach_routers: bool = True,
+    loss_model: str = "none",
+    loss_rate: float = 0.0,
+    loss_params: Optional[dict] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> TestNet:
-    """Build a static network with one node per position."""
+    """Build a static network with one node per position.
+
+    ``loss_model``/``loss_rate``/``loss_params`` install a seeded channel
+    loss process at every node's PHY (defaults keep the channel perfect);
+    ``fault_plan`` arms a :class:`~repro.faults.FaultInjector` so the
+    listed nodes crash/recover on schedule once the sim runs.
+    """
     sim = Simulator()
     tracer = Tracer()
     medium = RadioMedium(sim, tracer)
@@ -61,6 +75,26 @@ def build_static_net(
         node = Node(sim, index, medium, StaticMobility(position), rngs, tracer)
         nodes.append(node)
     oracle.register_all(nodes)
+    fault_metrics: Optional[FaultMetrics] = None
+    fault_injector: Optional[FaultInjector] = None
+    if loss_model != "none" or fault_plan is not None:
+        fault_metrics = FaultMetrics()
+    if loss_model != "none":
+        loss_rngs = rngs.fork("faults")
+        for node in nodes:
+            node.phy.set_loss_process(
+                make_loss_process(
+                    loss_model,
+                    loss_rate,
+                    dict(loss_params or {}),
+                    rng=loss_rngs.stream(f"loss:{node.node_id}"),
+                    metrics=fault_metrics,
+                    radio_range=medium.radio_range,
+                )
+            )
+    if fault_plan is not None and fault_plan:
+        fault_injector = FaultInjector(sim, nodes, fault_plan, fault_metrics, tracer=tracer)
+        fault_injector.arm()
     if attach_routers:
         for node in nodes:
             if protocol == "gpsr":
@@ -73,7 +107,15 @@ def build_static_net(
         if start:
             for node in nodes:
                 node.start()
-    return TestNet(sim=sim, tracer=tracer, medium=medium, nodes=nodes, oracle=oracle)
+    return TestNet(
+        sim=sim,
+        tracer=tracer,
+        medium=medium,
+        nodes=nodes,
+        oracle=oracle,
+        fault_metrics=fault_metrics,
+        fault_injector=fault_injector,
+    )
 
 
 def line_positions(count: int, spacing: float = 200.0) -> List[Position]:

@@ -127,6 +127,103 @@ def test_piggyback_disabled_returns_empty():
     assert h.acks_sent == [(b"a",)]  # standalone flush still happens
 
 
+# ------------------------------------------------- regression: ack dedupe
+def test_queue_ack_deduplicates_within_flush_window():
+    """Regression: a retransmitted data packet re-requests the same ref
+    before the flush fires; the ACK frame must carry it once, not twice."""
+    h = _Harness()
+    h.manager.queue_ack(b"a")
+    h.manager.queue_ack(b"a")  # retransmission arrived before the flush
+    h.manager.queue_ack(b"b")
+    h.sim.run(until=0.1)
+    assert h.acks_sent == [(b"a", b"b")]
+    assert h.manager.acks_deduped == 1
+
+
+def test_queue_ack_requeues_after_drain():
+    """Dedupe is per flush *window*: once the buffer drains, a fresh
+    retransmission (whose previous ACK was lost on the air) must earn a
+    fresh ACK copy."""
+    h = _Harness()
+    h.manager.queue_ack(b"a")
+    h.sim.run(until=0.1)
+    h.manager.queue_ack(b"a")  # the first ACK was lost; data came again
+    h.sim.run(until=0.2)
+    assert h.acks_sent == [(b"a",), (b"a",)]
+    assert h.manager.acks_deduped == 0
+
+
+def test_piggyback_dedupe_interleaving():
+    """Regression for the flush-timer lifecycle: piggyback drains must
+    disarm the pending flush, and refs queued *after* a piggyback drain
+    start a fresh window (new flush timer, no dedupe carry-over)."""
+    h = _Harness(piggyback_acks=True)
+    h.manager.queue_ack(b"a")            # arms the flush timer
+    assert h.manager.take_piggyback_refs() == (b"a",)  # drains + disarms
+    h.manager.queue_ack(b"a")            # fresh window: not a duplicate
+    h.manager.queue_ack(b"a")            # duplicate within the new window
+    h.sim.run(until=0.1)
+    assert h.acks_sent == [(b"a",)]      # exactly one standalone flush
+    assert h.manager.acks_deduped == 1
+
+
+def test_flush_timer_not_stale_after_piggyback():
+    """After a piggyback drain cancels the armed flush, queueing again
+    must re-arm — the old (cancelled) handle must not suppress it."""
+    h = _Harness(piggyback_acks=True)
+    h.manager.queue_ack(b"a")
+    h.manager.take_piggyback_refs()
+    h.manager.queue_ack(b"b")
+    h.sim.run(until=0.1)
+    assert h.acks_sent == [(b"b",)]
+
+
+# --------------------------------------------- regression: attempts reset
+def test_rewatch_resets_backoff_attempts():
+    """Regression: after give-up→re-route, the new forwarder must start
+    from the *base* timeout, not the evicted neighbor's backed-off one."""
+    h = _Harness(ack_timeout=0.01, max_retransmissions=2)
+    times = []
+    h.manager._retransmit = lambda p: times.append(h.sim.now)
+    h.manager.watch("pkt", b"r")
+    h.sim.run(until=0.02)  # first timeout fired at 0.01; attempts now 1
+    assert len(times) == 1
+    h.manager.watch("pkt2", b"r")  # fresh forwarding decision at t=0.02
+    h.sim.run(until=0.035)
+    # Next retransmit must come after the BASE timeout (0.02 + 0.01), not
+    # the backed-off 0.02 s the old neighbor had earned (0.02 + 0.02).
+    assert len(times) == 2
+    assert times[1] == pytest.approx(0.03, abs=1e-9)
+
+
+def test_rewatch_grants_full_retry_budget():
+    """A re-watched ref gets the full max_retransmissions again."""
+    h = _Harness(ack_timeout=0.01, max_retransmissions=1)
+    h.manager.watch("pkt", b"r")
+    h.sim.run(until=0.015)  # one retransmission burned
+    assert len(h.retransmitted) == 1
+    h.manager.watch("pkt2", b"r")
+    h.sim.run(until=1.0)
+    assert h.retransmitted == ["pkt", "pkt2"]  # full budget again
+    assert len(h.given_up) == 1  # then gave up once, at the end
+
+
+# ------------------------------------------------------- reset (crash)
+def test_reset_cancels_timers_and_empties_state():
+    h = _Harness(ack_timeout=0.01, max_retransmissions=3)
+    h.manager.watch("pkt", b"r1")
+    h.manager.queue_ack(b"a")
+    h.manager.reset()
+    h.sim.run(until=1.0)
+    assert h.retransmitted == []
+    assert h.acks_sent == []
+    assert h.manager.pending_count == 0
+    # A post-reset queue still works (fresh window).
+    h.manager.queue_ack(b"b")
+    h.sim.run(until=2.0)
+    assert h.acks_sent == [(b"b",)]
+
+
 def test_config_validation():
     with pytest.raises(ValueError):
         AgfwConfig(ack_timeout=0.0)

@@ -118,3 +118,36 @@ def test_planted_identity_into_packet_is_caught(tmp_path):
     assert anon["line"] == 14
     assert anon["path"] == path.as_posix()
     assert "identity" in anon["message"]
+
+
+# -------------------------------------------------- faults subsystem (DET)
+def test_faults_subsystem_is_clean_under_det_rules():
+    """The fault-injection subsystem draws all its randomness from
+    per-purpose derived streams — the DET family must see nothing."""
+    result = analyze_paths(
+        [str(REPO_ROOT / "src" / "repro" / "faults")],
+        select=["DET-001", "DET-002", "DET-003"],
+    )
+    assert result.errors == []
+    assert result.findings == []
+    assert result.files_analyzed >= 3  # __init__, loss, plan
+
+
+_PLANTED_FAULTS_DET = """\
+import random
+
+_SHARED = random.Random()
+
+
+def drop(rate):
+    return _SHARED.random() < rate
+"""
+
+
+def test_planted_module_level_rng_in_faults_is_caught(tmp_path):
+    """The gate over the faults tree is not vacuous: an unseeded
+    module-level RNG planted there still fires DET-002."""
+    path = write_fixture(tmp_path, "src/repro/faults/planted.py", _PLANTED_FAULTS_DET)
+    result = analyze_paths([str(path)], select=["DET-002"])
+    assert [f.rule_id for f in result.findings] == ["DET-002"]
+    assert result.findings[0].line == 3

@@ -111,6 +111,126 @@ def test_destination_death_is_not_a_false_delivery():
     assert net.deliveries() == []
 
 
+# ------------------------------------------------ genuine crash (FaultPlan)
+# The same diamond stories, but through repro.faults instead of the
+# teleport hack: node 1 *crashes* (radio off, MAC wiped, beacons stop).
+def test_gpsr_reroutes_after_relay_crash():
+    from repro.faults import FaultPlan
+
+    net = build_static_net(DIAMOND, protocol="gpsr", fault_plan=FaultPlan().crash(1, at=3.0))
+    net.sim.run(until=3.0)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert [d[0] for d in net.deliveries()] == [3]
+    assert "node-1" not in net.nodes[0].router.table
+
+
+def test_agfw_ack_reroutes_after_relay_crash():
+    from repro.faults import FaultPlan
+
+    net = build_static_net(
+        DIAMOND, protocol="agfw",
+        agfw_config=AgfwConfig(ack_timeout=0.02, max_retransmissions=2),
+        fault_plan=FaultPlan().crash(1, at=3.0),
+    )
+    net.sim.run(until=3.0)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert [d[0] for d in net.deliveries()] == [3]
+    source = net.nodes[0].router
+    assert source.acks.retransmissions > 0
+    assert source.acks.give_ups > 0
+
+
+def test_agfw_noack_loses_packet_after_relay_crash():
+    from repro.faults import FaultPlan
+
+    net = build_static_net(
+        DIAMOND, protocol="agfw", agfw_config=AgfwConfig(enable_ack=False),
+        fault_plan=FaultPlan().crash(1, at=3.0),
+    )
+    net.sim.run(until=3.0)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=10.0)
+    assert net.deliveries() == []
+
+
+def test_recovered_relay_carries_traffic_again():
+    """After the relay reboots it re-beacons from empty state, neighbors
+    re-learn it, and a later packet goes through."""
+    from repro.faults import FaultPlan
+
+    net = build_static_net(
+        DIAMOND, protocol="agfw",
+        agfw_config=AgfwConfig(ack_timeout=0.02, max_retransmissions=2),
+        fault_plan=FaultPlan().pause(1, at=3.0, duration=4.0),
+    )
+    net.sim.run(until=3.0)
+    net.sim.schedule(6.0, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=16.0)
+    assert [d[0] for d in net.deliveries()] == [3]
+    assert net.fault_metrics.crashes == 1 and net.fault_metrics.recoveries == 1
+
+
+# ------------------------------------------------- recovery under channel loss
+@pytest.mark.parametrize("loss_model", ["bernoulli", "gilbert", "distance"])
+def test_diamond_recovery_survives_channel_loss(loss_model):
+    """The relay dies *and* the channel is lossy; GPSR and AGFW-ACK still
+    recover the packet, because both have a retry loop to lean on."""
+    for protocol, config_kw in (
+        ("gpsr", {}),
+        ("agfw", {"agfw_config": AgfwConfig(ack_timeout=0.02, max_retransmissions=4)}),
+    ):
+        net = build_static_net(
+            DIAMOND, protocol=protocol,
+            loss_model=loss_model, loss_rate=0.15,
+            **config_kw,
+        )
+        net.sim.run(until=3.0)
+        _kill_node(net, 1)
+        net.sim.schedule(0.1, lambda net=net: net.nodes[0].router.send_data("node-3", 64))
+        net.sim.run(until=12.0)
+        assert [d[0] for d in net.deliveries()] == [3], (protocol, loss_model)
+        assert net.fault_metrics.loss_draws > 0
+
+
+@pytest.mark.parametrize("loss_model", ["bernoulli", "gilbert"])
+def test_agfw_noack_has_no_answer_to_channel_loss(loss_model):
+    """Under a *harsh* channel the noACK ablation cannot recover a lost
+    transfer: with the relay dead and heavy loss it delivers nothing
+    where the ACK variant (previous test, milder dose) retries through."""
+    net = build_static_net(
+        DIAMOND, protocol="agfw",
+        agfw_config=AgfwConfig(enable_ack=False),
+        loss_model=loss_model, loss_rate=0.85, seed=42,
+    )
+    net.sim.run(until=3.0)
+    _kill_node(net, 1)
+    net.sim.schedule(0.1, lambda: net.nodes[0].router.send_data("node-3", 64))
+    net.sim.run(until=12.0)
+    assert net.deliveries() == []
+    assert net.fault_metrics.drops_injected > 0
+
+
+# ------------------------------------------------------- faulted determinism
+def test_faulted_runs_are_deterministic_per_seed():
+    """Loss + churn runs replay byte-identically under the same seed."""
+    from repro.experiments.scenario import ScenarioConfig, run_scenario
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.churn(range(12), sim_time=4.0, seed=77, rate=1.5, mean_downtime=0.5)
+    cfg = ScenarioConfig(
+        protocol="agfw", num_nodes=12, sim_time=4.0, seed=77,
+        loss_model="gilbert", loss_rate=0.2, fault_plan=plan,
+    )
+    first = run_scenario(cfg)
+    second = run_scenario(cfg)
+    assert first.fault_counters == second.fault_counters
+    assert (first.sent, first.delivered) == (second.sent, second.delivered)
+    assert first.fault_counters["loss_draws"] > 0
+    assert first.fault_counters["crashes"] > 0
+
+
 def test_mass_failure_partitions_network():
     net = build_static_net(DIAMOND, protocol="gpsr")
     net.sim.run(until=3.0)

@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from repro.experiments.fig1 import run_fig1
+from repro.experiments.faults_sweep import run_faults_sweep
 from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import main as runner_main
 
@@ -61,8 +62,31 @@ def test_fig1_points_identical_serial_vs_parallel():
     assert serial == pooled  # Fig1Point is a frozen dataclass: full equality
 
 
+def test_faults_sweep_identical_serial_vs_parallel():
+    """Impaired points (loss draws + churn plans) stay a pure function of
+    their config: fanning the sweep over workers changes nothing."""
+    kwargs = dict(
+        loss_rates=(0.3,), churn_rates=(1.5,), schemes=("agfw",),
+        num_nodes=12, sim_time=3.0, seed=9,
+    )
+    serial = run_faults_sweep(jobs=1, **kwargs)
+    pooled = run_faults_sweep(jobs=2, **kwargs)
+    assert serial == pooled  # FaultPoint is a frozen dataclass: full equality
+    assert any(p.drops_injected > 0 for p in serial)
+    assert any(p.crashes > 0 for p in serial)
+
+
+def test_fig1_churn_parameter_threads_fault_plans():
+    """run_fig1(churn=...) doses every point; the default path is untouched."""
+    plain = run_fig1(node_counts=(12,), schemes=("gpsr",), sim_time=3.0, seed=4)
+    churned = run_fig1(
+        node_counts=(12,), schemes=("gpsr",), sim_time=3.0, seed=4, churn=(3.0, 0.5)
+    )
+    assert plain != churned  # the plan actually bit
+
+
 def test_runner_output_byte_identical_across_jobs(capsys):
-    argv = ["--sim-time", "3", "--nodes", "12", "--skip", "als", "exposure"]
+    argv = ["--sim-time", "3", "--nodes", "12", "--skip", "als", "exposure", "faults"]
     assert runner_main(argv + ["--jobs", "1"]) == 0
     serial_out = capsys.readouterr().out
     assert runner_main(argv + ["--jobs", "3"]) == 0
@@ -131,6 +155,27 @@ def test_committed_baseline_meets_speedup_floor():
     document = json.loads(path.read_text(encoding="utf-8"))
     assert document["schema_version"] == 1
     assert document["derived"]["fanout_speedup_150_nodes"] >= 3.0
+
+
+def test_committed_faults_baseline_within_overhead_budget():
+    """The committed faults artifact pins the impairment cost contract:
+    every regime's end-to-end overhead vs the unimpaired leg stays under
+    2x (impairment provokes protocol work — retransmissions — but must
+    never blow the run up), and the ``none`` leg is present as the
+    zero-cost-when-disabled reference point."""
+    import json
+
+    path = pathlib.Path(__file__).parent.parent / "benchmarks" / "BENCH_faults.json"
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document["schema_version"] == 1
+    assert document["suite"] == "faults"
+    for metric in (
+        "bernoulli_scenario_overhead",
+        "gilbert_scenario_overhead",
+        "churn_scenario_overhead",
+    ):
+        assert 0.0 < document["derived"][metric] < 2.0, metric
+    assert "test_scenario_impairment[none]" in document["benchmarks"]
 
 
 # ------------------------------------------- crypto fast path (PR 3)
@@ -222,7 +267,7 @@ def test_scheduler_modes_byte_identical_across_jobs():
 
 
 def test_runner_scheduler_flag_output_byte_identical(capsys):
-    argv = ["--sim-time", "3", "--nodes", "12", "--skip", "als", "exposure", "aant"]
+    argv = ["--sim-time", "3", "--nodes", "12", "--skip", "als", "exposure", "aant", "faults"]
     assert runner_main(argv + ["--scheduler", "heap"]) == 0
     heap_out = capsys.readouterr().out
     assert runner_main(argv + ["--scheduler", "wheel", "--jobs", "2"]) == 0

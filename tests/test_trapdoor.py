@@ -55,6 +55,37 @@ def test_ref_bytes_unique_per_trapdoor(contents):
     assert len(a.ref_bytes()) == 8
 
 
+def test_ref_bytes_deterministic_across_factories(contents):
+    """Regression: refs used to be ``id(self)`` — memory addresses, which
+    the allocator recycles and which vary with process history.  A ref
+    must be a pure function of the seal sequence and contents, so two
+    factories replaying the same seals mint identical refs."""
+    first = TrapdoorFactory("modeled")
+    second = TrapdoorFactory("modeled")
+    refs_first = [first.seal("node-9", None, contents)[0].ref_bytes() for _ in range(5)]
+    refs_second = [second.seal("node-9", None, contents)[0].ref_bytes() for _ in range(5)]
+    assert refs_first == refs_second  # replayable, not address-dependent
+    assert len(set(refs_first)) == 5  # and still unique per sealed packet
+
+
+def test_ref_bytes_survive_garbage_collection(contents):
+    """Regression: an ``id``-based ref could collide with a *live* pending
+    ref once the original trapdoor was freed and its address reused.
+    Sealed refs must stay unique across any interleaving of seals and
+    drops."""
+    import gc
+
+    factory = TrapdoorFactory("modeled")
+    seen = set()
+    for _ in range(200):
+        trapdoor, _ = factory.seal("node-9", None, contents)
+        ref = trapdoor.ref_bytes()
+        assert ref not in seen
+        seen.add(ref)
+        del trapdoor  # make the address available for reuse
+        gc.collect()
+
+
 # ---------------------------------------------------------------- real mode
 def test_real_seal_open_roundtrip(rsa_keys, contents, rng):
     factory = TrapdoorFactory("real", rng=rng)
