@@ -20,7 +20,7 @@ Output schema (``schema_version`` 1)::
 
     {
       "schema_version": 1,
-      "suite": "substrate" | "crypto" | "engine" | "faults",
+      "suite": "substrate" | "crypto" | "engine" | "faults" | "analysis",
       "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...}},
       "derived": {"<metric>": <numerator mean / denominator mean>}
     }
@@ -43,6 +43,11 @@ Suites:
   throughput plus end-to-end scenarios under each impairment regime;
   derived ``*_scenario_overhead`` ratios vs the unimpaired leg (the
   zero-cost-when-disabled guarantee).
+* ``analysis`` — the static-analysis engine (PR 6): full ``src/`` lint
+  in intra vs interprocedural mode and with a cold vs warm incremental
+  cache; derived ``interproc_overhead`` (price of cross-module
+  reasoning) and ``incremental_cache_speedup`` (rule dispatch skipped
+  on unchanged files).
 """
 
 from __future__ import annotations
@@ -101,6 +106,19 @@ SUITES: dict[str, dict] = {
             "churn_scenario_overhead": (
                 "test_scenario_impairment[churn]",
                 "test_scenario_impairment[none]",
+            ),
+        },
+    },
+    "analysis": {
+        "file": "bench_analysis.py",
+        "derived": {
+            "interproc_overhead": (
+                "test_full_src_analysis[interproc]",
+                "test_full_src_analysis[intra]",
+            ),
+            "incremental_cache_speedup": (
+                "test_full_src_analysis_cached[cold]",
+                "test_full_src_analysis_cached[warm]",
             ),
         },
     },

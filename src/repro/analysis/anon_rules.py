@@ -5,8 +5,9 @@ node identities and MAC addresses off the air: packets name the next hop
 by *pseudonym*, the destination by *trapdoor*, and every frame goes to
 the broadcast address.  Related work (ANAP's spoofing analysis) shows
 how easily an "anonymous" protocol leaks identity through an
-implementation side channel rather than the design.  These rules
-mechanize the invariant with a lightweight intra-function taint walk:
+implementation side channel rather than the design — and those side
+channels cross function boundaries.  These rules mechanize the
+invariant with a taint analysis that is *interprocedural* by default:
 
 ==========  ===========================================================
 ANON-001    a node-identity expression (``node.identity``, ``*_identity``
@@ -16,6 +17,21 @@ ANON-002    a link-layer address (``node.address``, ``mac_for_node``,
             ``MacAddress(...)``) reaches a ``Packet`` field — addresses
             belong to MAC frames, and AGFW frames are broadcast-only
 ==========  ===========================================================
+
+On top of PR 1's per-function walk, the engine consults project-wide
+facts from :mod:`repro.analysis.summaries`:
+
+* **function summaries** — a helper that returns its argument (or a
+  seed) taints its call sites, so identities laundered through
+  ``def make_src(node): return node.identity`` are caught where they
+  hit the packet;
+* **field taint** — ``(class, attr)`` pairs ever assigned a seed
+  anywhere in the project, so an identity stored into a header object
+  in one module is still tainted when another module serializes it;
+* **call-site injection** — parameters that some caller feeds a tainted
+  value (or a packet instance) are tainted (or sink-typed) inside the
+  callee, so the leak is flagged even when seed and sink live in
+  different modules.
 
 Taint is *cleansed* by the sanctioned transforms: trapdoor sealing,
 ALS encrypted-index construction (``make_index``), hashing, signing and
@@ -32,7 +48,7 @@ every cleartext identity field in the codebase.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.core import (
     Finding,
@@ -41,31 +57,40 @@ from repro.analysis.core import (
     Rule,
     register,
 )
+from repro.analysis.dataflow import (
+    LINKED_EXACT,
+    LINKED_SUFFIXES,
+    SANITIZERS,
+    SEED,
+    ClassEnv,
+    LabelEvaluator,
+    SeedSpec,
+)
 
-__all__ = ["IdentityIntoPacket", "MacAddressIntoPacket", "TaintWalker"]
+__all__ = [
+    "IDENTITY_SPEC",
+    "MAC_SPEC",
+    "IdentityIntoPacket",
+    "MacAddressIntoPacket",
+    "SANITIZERS",
+    "TaintWalker",
+]
 
-#: Call targets (terminal names) whose *result* no longer carries taint:
-#: the paper-sanctioned ways an identity may be transformed before it is
-#: put on the wire.
-SANITIZERS = frozenset(
-    {
-        "seal",            # TrapdoorFactory.seal -> trapdoor ciphertext
-        "make_index",      # ALS encrypted index h(A|B) / E_B(A|B)
-        "sha256",
-        "sha256_hex",
-        "fingerprint",
-        "derive_seed",
-        "home_cells",      # grid cells derived from an identity via SHA-256
-        "center_of",
-        "encrypt",
-        "encrypt_hybrid",
-        "sign",
-        "sign_hello",
-        "ring_sign",
-        "hash",
-        "ref_bytes",
-        "len",
-    }
+#: The two seed families, as data (shared with the summary builder).
+IDENTITY_SPEC = SeedSpec(
+    attr_exact=frozenset({"identity", "node_id", "subject"}),
+    attr_suffixes=("_identity",),
+    param_names=frozenset({"identity", "subject"}),
+    calls=frozenset(),
+    what="identity",
+)
+
+MAC_SPEC = SeedSpec(
+    attr_exact=frozenset({"address", "mac"}),
+    attr_suffixes=("_mac", "_address"),
+    param_names=frozenset({"address", "mac"}),
+    calls=frozenset({"mac_for_node", "MacAddress"}),
+    what="MAC address",
 )
 
 
@@ -78,12 +103,17 @@ def _terminal_name(node: ast.AST) -> Optional[str]:
 
 
 class TaintWalker:
-    """Per-function taint propagation for one seed family.
+    """Per-scope taint propagation for one seed family.
 
-    Flow-insensitive within a function body: a variable assigned a
-    tainted expression anywhere taints later uses.  That overshoots
-    rarely (reassignment to a clean value) and never under-shoots, which
-    is the right trade-off for an invariant checker.
+    Flow-insensitive within a scope: a variable assigned a tainted
+    expression anywhere taints later uses.  That overshoots rarely
+    (reassignment to a clean value) and never under-shoots, which is
+    the right trade-off for an invariant checker.
+
+    In interprocedural mode (:meth:`enable_interproc`) the walker
+    delegates expression evaluation to the label dataflow with the
+    project's function summaries and field-taint facts attached; in
+    intra mode it reproduces PR 1's behavior bit for bit.
     """
 
     def __init__(
@@ -97,31 +127,89 @@ class TaintWalker:
     ) -> None:
         self.module = module
         self.project = project
-        self.seed_attr_exact = frozenset(seed_attr_exact)
-        self.seed_attr_suffixes = tuple(seed_attr_suffixes)
-        self.seed_param_names = frozenset(seed_param_names)
-        self.seed_calls = frozenset(seed_calls)
+        self.spec = SeedSpec(
+            attr_exact=frozenset(seed_attr_exact),
+            attr_suffixes=tuple(seed_attr_suffixes),
+            param_names=frozenset(seed_param_names),
+            calls=frozenset(seed_calls),
+        )
         self.tainted_vars: Set[str] = set()
+        self._evaluator: Optional[LabelEvaluator] = None
+        self._summaries = None
+        self._qualname: Optional[str] = None
+
+    # ----------------------------------------------------- interproc wiring
+    def enable_interproc(self, scope: ast.AST) -> None:
+        """Attach project summaries/class typing for ``scope``."""
+        summaries = self.project.summaries_for(self.spec)
+        table = self.project.symbol_table
+        info = table.function_for_node(scope)
+        enclosing_class = info.class_qualname if info is not None else None
+        self._qualname = info.qualname if info is not None else None
+        self._summaries = summaries
+        class_env = ClassEnv(
+            self.module,
+            table,
+            scope,
+            enclosing_class=enclosing_class,
+            returns_class=summaries.returns_class,
+        )
+        self._evaluator = LabelEvaluator(
+            self.module,
+            self.spec,
+            table=table,
+            env={},
+            summaries=summaries.return_labels,
+            tainted_fields=summaries.tainted_fields,
+            class_env=class_env,
+            enclosing_class=enclosing_class,
+            packet_class_names=frozenset(self.project.packet_classes),
+        )
+
+    @property
+    def class_env(self) -> Optional[ClassEnv]:
+        return self._evaluator.class_env if self._evaluator is not None else None
+
+    @property
+    def injected_params(self) -> FrozenSet[str]:
+        """Params some caller feeds a tainted value (callgraph injection)."""
+        if self._summaries is None or self._qualname is None:
+            return frozenset()
+        return self._summaries.tainted_params.get(self._qualname, frozenset())
+
+    @property
+    def packet_params(self) -> FrozenSet[str]:
+        """Params some caller feeds a wire-visible packet instance."""
+        if self._summaries is None or self._qualname is None:
+            return frozenset()
+        return self._summaries.packet_params.get(self._qualname, frozenset())
+
+    def add_taint(self, name: str) -> None:
+        self.tainted_vars.add(name)
+        if self._evaluator is not None:
+            self._evaluator.env[name] = frozenset({SEED})
 
     # ----------------------------------------------------------- seeding
     def _name_matches(self, name: str) -> bool:
-        lowered = name.lower()
-        return lowered in self.seed_attr_exact or lowered.endswith(
-            tuple(self.seed_attr_suffixes)
-        )
+        return self.spec.name_matches(name)
 
     def seed_params(self, func: ast.AST) -> None:
-        """Parameters whose *name* marks them as identity-bearing."""
+        """Parameters tainted by *name* or by call-site injection."""
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
             return
+        injected = self.injected_params
         args = func.args
         for arg in (
             *args.posonlyargs, *args.args, *args.kwonlyargs,
             *([args.vararg] if args.vararg else []),
             *([args.kwarg] if args.kwarg else []),
         ):
-            if arg.arg in self.seed_param_names or self._name_matches(arg.arg):
-                self.tainted_vars.add(arg.arg)
+            if (
+                arg.arg in self.spec.param_names
+                or self._name_matches(arg.arg)
+                or arg.arg in injected
+            ):
+                self.add_taint(arg.arg)
 
     def propagate(self, nodes: Sequence[ast.AST]) -> None:
         """Fixpoint over simple assignments among the scope's own nodes."""
@@ -141,7 +229,7 @@ class TaintWalker:
             changed = False
             for name, value in assignments:
                 if name not in self.tainted_vars and self.is_tainted(value):
-                    self.tainted_vars.add(name)
+                    self.add_taint(name)
                     changed = True
 
     @staticmethod
@@ -151,11 +239,17 @@ class TaintWalker:
         return None
 
     # ------------------------------------------------------------ queries
-    _LINKED_EXACT = frozenset({"position", "location", "loc"})
-    _LINKED_SUFFIXES = ("_position", "_location", "_loc")
+    _LINKED_EXACT = LINKED_EXACT
+    _LINKED_SUFFIXES = LINKED_SUFFIXES
 
     def is_tainted(self, node: ast.AST) -> bool:
         """Does the expression (transitively) carry an identity?"""
+        if self._evaluator is not None:
+            return SEED in self._evaluator.labels(node)
+        return self._is_tainted_intra(node)
+
+    def _is_tainted_intra(self, node: ast.AST) -> bool:
+        """PR 1's per-module walk, byte-for-byte (the provable baseline)."""
         if isinstance(node, ast.Attribute):
             if self._name_matches(node.attr):
                 return True
@@ -165,7 +259,7 @@ class TaintWalker:
             # a timestamp on the same record is not.
             lowered = node.attr.lower()
             if lowered in self._LINKED_EXACT or lowered.endswith(self._LINKED_SUFFIXES):
-                return self.is_tainted(node.value)
+                return self._is_tainted_intra(node.value)
             return False
         if isinstance(node, ast.Name):
             return node.id in self.tainted_vars or self._name_matches(node.id)
@@ -173,37 +267,37 @@ class TaintWalker:
             func_name = _terminal_name(node.func)
             if func_name in SANITIZERS:
                 return False
-            if func_name in self.seed_calls:
+            if func_name in self.spec.calls:
                 return True
             parts: List[ast.AST] = [*node.args, *[kw.value for kw in node.keywords]]
             if isinstance(node.func, ast.Attribute):
                 # Method on a tainted object: ``identity.encode()``.
                 parts.append(node.func.value)
-            return any(self.is_tainted(part) for part in parts)
+            return any(self._is_tainted_intra(part) for part in parts)
         if isinstance(node, ast.BoolOp):
-            return any(self.is_tainted(v) for v in node.values)
+            return any(self._is_tainted_intra(v) for v in node.values)
         if isinstance(node, ast.BinOp):
-            return self.is_tainted(node.left) or self.is_tainted(node.right)
+            return self._is_tainted_intra(node.left) or self._is_tainted_intra(node.right)
         if isinstance(node, ast.JoinedStr):
             return any(
-                self.is_tainted(value.value)
+                self._is_tainted_intra(value.value)
                 for value in node.values
                 if isinstance(value, ast.FormattedValue)
             )
         if isinstance(node, ast.FormattedValue):
-            return self.is_tainted(node.value)
+            return self._is_tainted_intra(node.value)
         if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
-            return any(self.is_tainted(elt) for elt in node.elts)
+            return any(self._is_tainted_intra(elt) for elt in node.elts)
         if isinstance(node, ast.Starred):
-            return self.is_tainted(node.value)
+            return self._is_tainted_intra(node.value)
         if isinstance(node, ast.IfExp):
-            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+            return self._is_tainted_intra(node.body) or self._is_tainted_intra(node.orelse)
         if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
-            return self.is_tainted(node.elt) or any(
-                self.is_tainted(gen.iter) for gen in node.generators
+            return self._is_tainted_intra(node.elt) or any(
+                self._is_tainted_intra(gen.iter) for gen in node.generators
             )
         if isinstance(node, ast.Subscript):
-            return self.is_tainted(node.value)
+            return self._is_tainted_intra(node.value)
         return False
 
 
@@ -260,11 +354,14 @@ class _PacketTaintRule(Rule):
             self.seed_param_names,
             self.seed_calls,
         )
-        walker.tainted_vars |= inherited
+        if project.interprocedural:
+            walker.enable_interproc(scope)
+        for name in sorted(inherited):
+            walker.add_taint(name)
         walker.seed_params(scope)
         own, nested = _split_scope(scope)
         walker.propagate(own)
-        packet_vars = self._packet_vars(module, project, own)
+        packet_vars = self._packet_vars(module, project, own, walker)
 
         for node in own:
             yield from self._check_node(module, project, node, walker, packet_vars)
@@ -275,9 +372,18 @@ class _PacketTaintRule(Rule):
             )
 
     def _packet_vars(
-        self, module: ModuleContext, project: ProjectContext, nodes: Sequence[ast.AST]
+        self,
+        module: ModuleContext,
+        project: ProjectContext,
+        nodes: Sequence[ast.AST],
+        walker: TaintWalker,
     ) -> Set[str]:
-        """Local names bound to packet instances (``p = AgfwData(...)``)."""
+        """Local names bound to packet instances (``p = AgfwData(...)``).
+
+        Interprocedural mode adds: parameters that call sites feed packet
+        instances, and names whose inferred class (constructor elsewhere,
+        annotation, summary ``returns_class``) is a packet class.
+        """
         names: Set[str] = set()
         for node in nodes:
             if not isinstance(node, ast.Assign):
@@ -290,7 +396,47 @@ class _PacketTaintRule(Rule):
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     names.add(target.id)
+        names |= walker.packet_params
+        class_env = walker.class_env
+        if class_env is not None:
+            table = project.symbol_table
+            for name in sorted(class_env.vars):
+                cinfo = table.classes.get(class_env.vars[name])
+                if cinfo is not None and cinfo.name in project.packet_classes:
+                    names.add(name)
         return names
+
+    @staticmethod
+    def _clones_non_packet(
+        node: ast.Call, project: ProjectContext, walker: TaintWalker
+    ) -> bool:
+        """Is the cloned object *known* to be a non-packet class?
+
+        ``pkt.replace(...)`` clones its receiver; ``dataclasses.replace
+        (obj, ...)`` clones its first positional argument.  When the
+        class environment types that object as an analyzed class outside
+        the packet hierarchy (a Certificate, a config record), the clone
+        is not wire-visible and the sink is skipped.  Unknown types stay
+        conservative (still a sink) — precision only ever *removes*
+        reports the interprocedural typing can justify removing.
+        """
+        env = walker.class_env
+        if env is None or not isinstance(node.func, ast.Attribute):
+            return False
+        cloned: Optional[ast.AST] = node.func.value
+        if (
+            isinstance(cloned, ast.Name)
+            and cloned.id in walker.module.import_aliases
+            and node.args
+        ):
+            cloned = node.args[0]  # module-style: dataclasses.replace(obj, ...)
+        if cloned is None:
+            return False
+        cls = env.class_of(cloned)
+        if cls is None:
+            return False
+        cinfo = project.symbol_table.classes.get(cls)
+        return cinfo is not None and cinfo.name not in project.packet_classes
 
     def _check_node(
         self,
@@ -306,6 +452,8 @@ class _PacketTaintRule(Rule):
             is_clone = callee in {"clone_for_forwarding", "replace"} and isinstance(
                 node.func, ast.Attribute
             )
+            if is_clone and self._clones_non_packet(node, project, walker):
+                is_clone = False
             if is_packet_ctor or is_clone:
                 sink = callee if is_packet_ctor else "clone/replace"
                 for position, arg in enumerate(node.args):
@@ -351,7 +499,9 @@ class IdentityIntoPacket(_PacketTaintRule):
     The ANT invariant: hellos carry ``<pseudonym, location, ts>``, data
     carries ``<loc_d, pseudonym, trapdoor>`` — never ``node.identity``,
     a certificate subject, or anything derived from them, except through
-    the sanctioned sealed/hashed forms.
+    the sanctioned sealed/hashed forms.  Interprocedural: helper
+    returns, header-object fields, and tainted call-site arguments are
+    tracked across modules.
     """
 
     id = "ANON-001"
@@ -363,9 +513,9 @@ class IdentityIntoPacket(_PacketTaintRule):
     )
     exempt_paths = ("crypto/*", "core/trapdoor.py")
 
-    seed_attr_exact = ("identity", "node_id", "subject")
-    seed_attr_suffixes = ("_identity",)
-    seed_param_names = ("identity", "subject")
+    seed_attr_exact = tuple(sorted(IDENTITY_SPEC.attr_exact))
+    seed_attr_suffixes = IDENTITY_SPEC.attr_suffixes
+    seed_param_names = tuple(sorted(IDENTITY_SPEC.param_names))
     what = "identity"
 
 
@@ -388,8 +538,8 @@ class MacAddressIntoPacket(_PacketTaintRule):
     )
     exempt_paths = ("crypto/*", "net/mac/*", "net/addresses.py")
 
-    seed_attr_exact = ("address", "mac")
-    seed_attr_suffixes = ("_mac", "_address")
-    seed_param_names = ("address", "mac")
-    seed_calls = ("mac_for_node", "MacAddress")
+    seed_attr_exact = tuple(sorted(MAC_SPEC.attr_exact))
+    seed_attr_suffixes = MAC_SPEC.attr_suffixes
+    seed_param_names = tuple(sorted(MAC_SPEC.param_names))
+    seed_calls = tuple(sorted(MAC_SPEC.calls))
     what = "MAC address"

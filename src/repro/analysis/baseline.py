@@ -1,0 +1,117 @@
+"""Checked-in finding baseline: gate PRs on *new* findings only.
+
+A baseline file records the findings a tree is currently allowed to
+have.  The engine partitions each run's findings into **new** (fail the
+gate) and **baselined** (known debt, reported but not fatal), so a rule
+can be introduced — or tightened — without first fixing every historic
+site, while any *regression* still fails CI the moment it appears.
+
+Entries are fingerprints, not positions: ``(normalized path, rule id,
+stripped source snippet)`` with a count.  Line numbers churn with every
+unrelated edit; the snippet only changes when the flagged code itself
+changes, at which point the finding *should* resurface for a human
+decision.  Counts make duplicate sites on identical snippets behave
+sanely: three identical leaks baseline three, a fourth is new.
+
+Paths are normalized to their last ``src/``/``tests/``/``benchmarks/``
+anchor so fingerprints agree between a local checkout, CI, and tmp-dir
+fixture trees.
+
+Workflow::
+
+    repro-lint src tests --baseline analysis_baseline.json            # gate
+    repro-lint src tests --baseline analysis_baseline.json \\
+        --update-baseline                                             # re-pin
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.core import ANALYSIS_VERSION, Finding
+
+__all__ = ["Baseline", "normalize_path"]
+
+#: Path components that anchor a repo-relative identity.
+_ANCHORS = ("src", "tests", "benchmarks")
+
+#: Baseline file schema version (independent of the engine version: an
+#: engine bump invalidates *caches*, not recorded debt).
+BASELINE_SCHEMA = 1
+
+
+def normalize_path(path: str) -> str:
+    """Stable fingerprint path: everything from the last anchor down.
+
+    ``/home/ci/repo/src/repro/core/als.py`` and ``src/repro/core/als.py``
+    normalize identically; paths without an anchor keep their last two
+    components.
+    """
+    parts = PurePosixPath(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] in _ANCHORS:
+            return "/".join(parts[index:])
+    return "/".join(parts[-2:])
+
+
+def _fingerprint(finding: Finding, snippet: str) -> str:
+    return f"{normalize_path(finding.path)}|{finding.rule_id}|{snippet.strip()}"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → allowed-count table, with (de)serialization."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------- io
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = {str(k): int(v) for k, v in data.get("entries", {}).items()}
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "analysis_version": ANALYSIS_VERSION,
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], snippet_of: Callable[[Finding], str]
+    ) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            key = _fingerprint(finding, snippet_of(finding))
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    # -------------------------------------------------------------- filtering
+    def partition(
+        self, findings: List[Finding], snippet_of: Callable[[Finding], str]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split into (new, baselined), consuming counts deterministically.
+
+        Findings arrive sorted (the engine sorts); the first *n* matches
+        of a fingerprint with count *n* are baselined, any excess is new.
+        """
+        remaining = dict(self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = _fingerprint(finding, snippet_of(finding))
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

@@ -21,6 +21,7 @@ from pathlib import PurePosixPath
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "Finding",
     "ModuleContext",
     "ProjectContext",
@@ -29,6 +30,10 @@ __all__ = [
     "registry",
     "register",
 ]
+
+#: Bumped whenever rule semantics or the dataflow machinery change, so
+#: stale incremental-cache entries can never satisfy a newer engine.
+ANALYSIS_VERSION = "2-interproc"
 
 
 @dataclass(frozen=True, order=True)
@@ -140,10 +145,52 @@ class ProjectContext:
         ("repro.location.geocast", "LocationAddressed"),
     )
 
-    def __init__(self, modules: Iterable[ModuleContext]) -> None:
+    def __init__(
+        self, modules: Iterable[ModuleContext], interprocedural: bool = True
+    ) -> None:
         self.modules: List[ModuleContext] = list(modules)
+        #: When False, rules fall back to PR 1's per-module behavior:
+        #: no symbol table, no summaries, no call-graph passes.  The
+        #: regression tests use this to prove the interprocedural engine
+        #: catches leaks the intra-function walk provably cannot.
+        self.interprocedural = interprocedural
         self.packet_classes: set[str] = {name for _, name in self.PACKET_ROOTS}
+        self._symbol_table = None
+        self._det_facts = None
+        self._summaries: Dict[object, object] = {}
         self._build_packet_table()
+
+    # --------------------------------------------------- interprocedural assets
+    @property
+    def symbol_table(self):
+        """Project-wide symbol table (lazy; see :mod:`.callgraph`)."""
+        if self._symbol_table is None:
+            from repro.analysis.callgraph import SymbolTable
+
+            self._symbol_table = SymbolTable(self.modules)
+        return self._symbol_table
+
+    @property
+    def det_facts(self):
+        """Ordering facts for the DET call-graph pass (lazy)."""
+        if self._det_facts is None:
+            from repro.analysis.summaries import DeterminismFacts
+
+            self._det_facts = DeterminismFacts.build(self.modules, self.symbol_table)
+        return self._det_facts
+
+    def summaries_for(self, spec):
+        """Taint summaries for one :class:`~.dataflow.SeedSpec` (cached)."""
+        if spec not in self._summaries:
+            from repro.analysis.summaries import ProjectSummaries
+
+            self._summaries[spec] = ProjectSummaries(
+                self.modules,
+                self.symbol_table,
+                spec,
+                packet_classes=frozenset(self.packet_classes),
+            )
+        return self._summaries[spec]
 
     def _build_packet_table(self) -> None:
         # Collect (class name -> base names as locally written), resolving

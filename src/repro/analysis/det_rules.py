@@ -26,7 +26,26 @@ DET-008     ad-hoc priority queues (``heapq``/``bisect.insort`` calls)
             outside the scheduler backends in ``repro.sim`` — event
             ordering must flow through the Simulator's proven-equivalent
             backends, not side queues
+DET-009     *interprocedural* DET-005: iteration over project-known
+            unordered values (set-typed attributes, set-returning
+            helpers from another module) inside any function that can
+            transitively reach ``schedule``/``call_later``/``emit``
+DET-010     address-dependent values: builtin ``id()`` as data, or
+            ``sorted(key=id/hash)`` — ``id()`` is an interpreter heap
+            address and differs across runs/processes (the
+            ``Trapdoor.ref_bytes`` fallback bug class fixed in PR 5)
+DET-011     module-level mutable containers (``[]``, ``set()``,
+            ``bytearray()``, ``deque()``) — state that forks into
+            divergent per-process copies under the sharded-simulation
+            roadmap item and silently desynchronizes shards
+DET-012     unsorted filesystem enumeration (``os.listdir``, ``glob``,
+            ``Path.glob/rglob/iterdir``) — directory order is
+            filesystem-dependent, so any derived ordering differs
+            between machines unless wrapped in ``sorted(...)``
 ==========  ===========================================================
+
+DET-009 only fires when the engine runs interprocedurally (it needs the
+call graph); the others are per-module and fire in both modes.
 """
 
 from __future__ import annotations
@@ -45,6 +64,10 @@ __all__ = [
     "ModuleLevelCounter",
     "ModuleLevelMemoCache",
     "AdHocEventQueue",
+    "UnorderedIterationIntoScheduler",
+    "AddressDependentValue",
+    "ModuleLevelMutableState",
+    "UnsortedFilesystemEnumeration",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -691,3 +714,295 @@ class AdHocEventQueue(Rule):
                     "same-key insertion order is shape-dependent — schedule "
                     "through the Simulator's backend or audit & exempt",
                 )
+
+
+@register
+class UnorderedIterationIntoScheduler(Rule):
+    """DET-009: project-known unordered iteration inside scheduler-reaching code.
+
+    DET-005 sees a set only when the *same module* types it; an attribute
+    assigned ``set()`` in one module and iterated in another, or a helper
+    ``def neighbors() -> set`` consumed across a module boundary, slips
+    through.  This pass uses the project facts: set-typed attribute names
+    and set-returning functions collected over the whole tree, plus the
+    call graph's transitive closure over ``schedule``/``call_later``/
+    ``emit``.  Iterating such a value anywhere in a function that can
+    reach the scheduler or the trace stream makes event/trace order
+    hash-seed dependent — exactly the divergence class the Fig. 1 sweeps
+    cannot tolerate.  Sites DET-005 already reports (intra-module typed)
+    are skipped, so each leak is flagged exactly once.
+    """
+
+    id = "DET-009"
+    name = "unordered-iteration-into-scheduler"
+    rationale = (
+        "Iterating a cross-module set inside scheduler-reaching code feeds "
+        "hash-seed-dependent order into the event queue or trace stream; "
+        "wrap in sorted(...) at the iteration site."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py", "benchmarks/*")
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        if not project.interprocedural:
+            return
+        facts = project.det_facts
+        table = project.symbol_table
+        intra = _set_typed_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            info = table.function_for_node(node)
+            if info is None or info.qualname not in facts.schedulers:
+                continue
+            for sub in ast.walk(node):
+                iters: Tuple[ast.AST, ...] = ()
+                how = "for-loop iteration"
+                if isinstance(sub, ast.For):
+                    iters = (sub.iter,)
+                elif isinstance(
+                    sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters = tuple(g.iter for g in sub.generators)
+                    how = "comprehension iteration"
+                for it in iters:
+                    reason = self._unordered_reason(module, table, facts, intra, it)
+                    if reason is not None:
+                        yield self.finding(
+                            module,
+                            it,
+                            f"{how} over {reason} inside scheduler-reaching "
+                            f"'{info.qualname}' leaks hash-seed order into "
+                            "event scheduling; wrap in sorted(...)",
+                        )
+
+    @staticmethod
+    def _unordered_reason(
+        module: ModuleContext,
+        table,
+        facts,
+        intra: Set[str],
+        it: ast.AST,
+    ) -> Optional[str]:
+        if isinstance(it, ast.Attribute):
+            if it.attr not in facts.set_attrs:
+                return None
+            # Intra-module typed sites are DET-005's (avoid double report).
+            if isinstance(it.value, ast.Name) and f"{it.value.id}.{it.attr}" in intra:
+                return None
+            return f"project-known set attribute '.{it.attr}'"
+        if isinstance(it, ast.Call):
+            name = _terminal_identifier(it.func)
+            if name in {"sorted", "list", "tuple"}:
+                return None
+            targets = table.resolve_call(module, it)
+            if targets and all(t.qualname in facts.set_returning for t in targets):
+                return f"set-returning helper '{name}()'"
+        return None
+
+
+@register
+class AddressDependentValue(Rule):
+    """DET-010: interpreter heap addresses used as data.
+
+    ``id(obj)`` is a CPython heap address: it differs between runs,
+    between processes, and under ASLR — so any value or ordering derived
+    from it is irreproducible by construction.  This is precisely the
+    ``Trapdoor.ref_bytes()`` fallback bug PR 5 fixed: an object address
+    leaked into wire-visible ACK reference bytes, and same-seed runs
+    produced different traces.  Flagged shapes: builtin ``id(...)`` used
+    as a value, and ``sorted(..., key=id)`` / ``key=hash`` (default
+    object ``hash`` is the address shifted).  The analysis package
+    itself is exempt: it uses ``id(node)`` only as an in-memory dict
+    identity key over one AST, never as persisted or compared data.
+    """
+
+    id = "DET-010"
+    name = "address-dependent-value"
+    rationale = (
+        "id() is an interpreter heap address — different every run and "
+        "every process; values or orderings derived from it can never be "
+        "reproduced from the master seed."
+    )
+    exempt_paths = (
+        "analysis/*",  # id(node) as AST-lifetime dict identity keys only
+        "tests/*",
+        "test_*.py",
+        "conftest.py",
+        "benchmarks/*",
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "id"
+                and func.id not in module.from_imports
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin id() yields an interpreter heap address that "
+                    "differs every run (cf. the Trapdoor.ref_bytes fallback "
+                    "bug); derive the value from stable contents instead",
+                )
+                continue
+            name = _terminal_identifier(func)
+            if name in {"sorted", "sort", "min", "max"}:
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "key"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id in {"id", "hash"}
+                        and keyword.value.id not in module.from_imports
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{name}(key={keyword.value.id}) orders by "
+                            "interpreter addresses / hash-seed values; order "
+                            "differs between runs — key on stable contents",
+                        )
+
+
+#: Module-scope constructors of (initially empty) non-mapping mutable
+#: containers.  Mappings are DET-007's; ints/counters are DET-006's.
+_MUTABLE_CONTAINER_CONSTRUCTORS = frozenset({"list", "set", "bytearray", "deque"})
+
+
+@register
+class ModuleLevelMutableState(Rule):
+    """DET-011: module-level mutable containers vs. the sharding roadmap.
+
+    The roadmap's sharded distributed simulation runs node partitions in
+    separate worker processes.  A module-level list/set accumulates
+    state per *process*: each shard gets its own copy, the copies
+    diverge, and behavior that silently depended on that state stops
+    being a pure function of the master seed — the multi-process
+    generalization of DET-006/007.  Flagged: *empty* mutable containers
+    bound at module scope (``_pending = []``, ``_seen = set()``,
+    ``deque()``, ``bytearray()``).  Populated literals pass — they are
+    constant tables.  Hold working state on the Simulator-owned object
+    instead, where the shard protocol can replicate it explicitly.
+    """
+
+    id = "DET-011"
+    name = "module-level-mutable-state"
+    rationale = (
+        "Module-level mutable containers become divergent per-process "
+        "copies under sharded simulation; working state must live on "
+        "Simulator-owned objects the shard protocol replicates."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py", "benchmarks/*")
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            targets: Tuple[ast.AST, ...] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = tuple(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = (stmt.target,), stmt.value
+            if value is None or not targets:
+                continue
+            if not self._is_empty_mutable_container(value):
+                continue
+            names = ", ".join(
+                t.id for t in targets if isinstance(t, ast.Name)
+            ) or "<target>"
+            yield self.finding(
+                module,
+                stmt,
+                f"module-level mutable container '{names}' forks into "
+                "divergent per-process copies under sharded simulation; "
+                "hold working state on a Simulator-owned object",
+            )
+
+    @staticmethod
+    def _is_empty_mutable_container(value: ast.AST) -> bool:
+        if isinstance(value, ast.List):
+            return not value.elts  # ``[]``; populated literals are tables
+        if not isinstance(value, ast.Call):
+            return False
+        name = _terminal_identifier(value.func)
+        if name not in _MUTABLE_CONTAINER_CONSTRUCTORS:
+            return False
+        # ``list(existing)`` / ``set(known)`` copies are tables; bare
+        # constructors (``deque()``, ``deque(maxlen=8)``) are working state.
+        return not value.args
+
+
+#: ``(module, name)`` call targets that enumerate a directory in
+#: filesystem order.
+_FS_ENUM_CALLS = frozenset(
+    {("os", "listdir"), ("os", "scandir"), ("glob", "glob"), ("glob", "iglob")}
+)
+
+#: ``pathlib.Path`` enumeration methods (matched by attribute name — a
+#: receiver type is not needed; nothing else in the tree shares them).
+_PATH_ENUM_ATTRS = frozenset({"glob", "rglob", "iterdir"})
+
+
+@register
+class UnsortedFilesystemEnumeration(Rule):
+    """DET-012: directory listings consumed in filesystem order.
+
+    ``os.listdir`` and friends return entries in on-disk order — ext4,
+    tmpfs and APFS all disagree, so scenario loaders, trace mergers and
+    the analysis engine itself would process files in machine-dependent
+    order.  Every enumeration must pass through ``sorted(...)`` before
+    its order can matter (the engine's own ``collect_files`` is the
+    pattern).  An enumeration already wrapped in a ``sorted(...)`` call
+    within a couple of AST levels passes.
+    """
+
+    id = "DET-012"
+    name = "unsorted-filesystem-enumeration"
+    rationale = (
+        "Directory enumeration order is filesystem-dependent; any derived "
+        "processing order differs across machines unless sorted(...)."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py", "benchmarks/*")
+
+    #: How many parent links to climb looking for a ``sorted(...)`` wrapper
+    #: (covers ``sorted(x.rglob(p))`` and ``sorted(f(e) for e in x.iterdir())``).
+    _SORT_SEARCH_LEVELS = 3
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label: Optional[str] = None
+            target = _resolve_call_target(module, node.func)
+            if target in _FS_ENUM_CALLS:
+                label = f"{target[0]}.{target[1]}()"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PATH_ENUM_ATTRS
+            ):
+                label = f"Path.{node.func.attr}()"
+            if label is None or self._sorted_nearby(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{label} yields entries in filesystem order, which differs "
+                "across machines; wrap the enumeration in sorted(...)",
+            )
+
+    def _sorted_nearby(self, module: ModuleContext, node: ast.AST) -> bool:
+        current: ast.AST = node
+        for _ in range(self._SORT_SEARCH_LEVELS):
+            parent = module.parent_of(current)
+            if parent is None:
+                return False
+            if isinstance(parent, ast.Call) and (
+                _terminal_identifier(parent.func) == "sorted"
+            ):
+                return True
+            current = parent
+        return False

@@ -264,7 +264,10 @@ class AgfwRouter(BaseRouter):
                 self._hellos_awaiting_certs.pop(0)
             self.cert_requests_sent += 1
             self._trace("aant.cert_request", subjects=list(missing))
-            self.node.mac.send(CertRequest(subjects=missing), BROADCAST)
+            # Ring subjects are decoy identities wire-visible *by design*:
+            # the anonymous-authentication ring (paper Sec. 4) trades their
+            # exposure for k-anonymity of the actual signer.
+            self.node.mac.send(CertRequest(subjects=missing), BROADCAST)  # repro: noqa[ANON-001] ring decoys
             return
         valid, delay = self.authenticator.verify_hello(
             hello.auth, hello.pseudonym, hello.position, hello.timestamp

@@ -84,14 +84,18 @@ class Trapdoor:
         runs, which churn trapdoors through retransmissions and
         give-ups, made runs visibly hash-seed dependent.
 
-        The ``id``-based fallback remains only for hand-built trapdoors
-        in unit tests; every factory product carries ``_ref``.
+        Hand-built trapdoors (unit tests; every factory product carries
+        ``_ref``) fall back to a hash of the stable sealed fields.  The
+        historical ``id(self)`` fallback was the same bug in miniature —
+        an interpreter heap address leaking into wire-visible ACK refs —
+        and is exactly what DET-010 now rejects tree-wide.
         """
         if self._ref is not None:
             return self._ref
         if self.ciphertext is not None:
             return _sha256(self.ciphertext)[:8]
-        return id(self).to_bytes(8, "little", signed=False)
+        payload = repr((self.size_bytes, self._sealed_for, self._contents))
+        return _sha256(payload.encode("utf-8"))[:8]
 
 
 class TrapdoorFactory:

@@ -153,6 +153,62 @@ def test_noqa_is_line_scoped():
     assert not table.suppresses(Finding("src/repro/x.py", 2, 1, "DET-001", "m"))
 
 
+def test_noqa_on_any_line_of_multiline_statement(tmp_path):
+    """Regression: the comment used to match only the exact finding line,
+    so a noqa on the closing paren of a wrapped call never suppressed
+    the finding reported at the call's first line."""
+    result = lint_source(
+        tmp_path,
+        """\
+        import random
+
+        value = random.choice(
+            [1, 2, 3],
+        )  # repro: noqa[DET-001]
+        """,
+        select=["DET-001"],
+    )
+    assert result.findings == []
+    assert [f.rule_id for f in result.suppressed] == ["DET-001"]
+
+
+def test_noqa_on_decorator_line_covers_the_def(tmp_path):
+    """DET-007 reports at the ``def`` line, but the offending decorator
+    (where the annotation naturally lives) may sit lines above it."""
+    result = lint_source(
+        tmp_path,
+        """\
+        import functools
+
+
+        @functools.lru_cache  # repro: noqa[DET-007]
+        def lookup(key):
+            return key * 2
+        """,
+        select=["DET-007"],
+    )
+    assert result.findings == []
+    assert [f.rule_id for f in result.suppressed] == ["DET-007"]
+
+
+def test_noqa_on_def_line_does_not_blanket_the_body(tmp_path):
+    """A compound statement's span is its *header* only — a noqa on the
+    ``def`` line must not swallow findings inside the function body."""
+    result = lint_source(
+        tmp_path,
+        """\
+        import random
+
+
+        def roll():  # repro: noqa[DET-001]
+            return random.random()
+        """,
+        select=["DET-001"],
+    )
+    assert [f.rule_id for f in result.findings] == ["DET-001"]
+    assert result.suppressed == []
+
+
 def test_split_suppressed_partitions():
     module = _module("a = 1  # repro: noqa[DET-001]\n")
     keep = Finding("src/repro/x.py", 9, 1, "DET-001", "kept")
@@ -223,7 +279,7 @@ def test_json_report_shape(tmp_path):
         select=["DET-001"],
     )
     payload = json.loads(render_json(result))
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["exit_code"] == 1
     assert payload["counts"] == {"DET-001": 1}
     (finding,) = payload["findings"]

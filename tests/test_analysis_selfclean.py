@@ -46,6 +46,25 @@ def test_baseline_leaks_are_annotated_not_silent():
     assert any(p.endswith("core/als.py") for p in suppressed_paths)
 
 
+def test_whole_tree_passes_the_committed_baseline_gate():
+    """The exact CI invocation: src+tests analyzed together (so
+    cross-tree summaries are in play) gated by the committed baseline.
+    The committed baseline is *empty* — the tree carries no known debt —
+    which makes this the strongest form of the self-clean contract."""
+    baseline_path = REPO_ROOT / "analysis_baseline.json"
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert payload["schema"] == 1
+    assert payload["entries"] == {}, "tree should carry no baselined debt"
+
+    out = io.StringIO()
+    code = main(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"),
+         "--baseline", str(baseline_path)],
+        stream=out,
+    )
+    assert code == 0, out.getvalue()
+
+
 def test_engine_is_deterministic_across_runs():
     first = analyze_paths([str(REPO_ROOT / "src")])
     second = analyze_paths([str(REPO_ROOT / "src")])

@@ -68,6 +68,20 @@ def test_ref_bytes_deterministic_across_factories(contents):
     assert len(set(refs_first)) == 5  # and still unique per sealed packet
 
 
+def test_handbuilt_fallback_ref_is_content_derived(contents):
+    """Regression (DET-010): the hand-built fallback used to hash
+    ``id(self)`` — an interpreter heap address that differs between runs
+    and processes.  Two hand-built trapdoors with identical fields must
+    mint identical refs (the fallback is a pure function of the sealed
+    fields), and different fields must mint different refs."""
+    a = Trapdoor(size_bytes=64, _sealed_for="node-9", _contents=contents)
+    b = Trapdoor(size_bytes=64, _sealed_for="node-9", _contents=contents)
+    assert a.ref_bytes() == b.ref_bytes()
+    assert len(a.ref_bytes()) == 8
+    other = Trapdoor(size_bytes=64, _sealed_for="node-3", _contents=contents)
+    assert other.ref_bytes() != a.ref_bytes()
+
+
 def test_ref_bytes_survive_garbage_collection(contents):
     """Regression: an ``id``-based ref could collide with a *live* pending
     ref once the original trapdoor was freed and its address reused.
