@@ -48,6 +48,10 @@ Suites:
   cache; derived ``interproc_overhead`` (price of cross-module
   reasoning) and ``incremental_cache_speedup`` (rule dispatch skipped
   on unchanged files).
+* ``hotpath`` — the vectorized core (PR 7): neighbor-gather and batch
+  mobility micro-kernels (object/scalar vs numpy-batched; acceptance
+  floor 5x each) and a 150-node end-to-end scenario with the fast
+  stack off vs on (floor 1.3x).
 """
 
 from __future__ import annotations
@@ -119,6 +123,23 @@ SUITES: dict[str, dict] = {
             "incremental_cache_speedup": (
                 "test_full_src_analysis_cached[cold]",
                 "test_full_src_analysis_cached[warm]",
+            ),
+        },
+    },
+    "hotpath": {
+        "file": "bench_hotpath.py",
+        "derived": {
+            "neighbor_gather_speedup": (
+                "test_neighbor_gather_150_nodes[obj]",
+                "test_neighbor_gather_150_nodes[array]",
+            ),
+            "batch_mobility_speedup": (
+                "test_batch_mobility_150_legs[scalar]",
+                "test_batch_mobility_150_legs[batch]",
+            ),
+            "scenario_hotpath_speedup": (
+                "test_end_to_end_scenario_150[baseline]",
+                "test_end_to_end_scenario_150[fast]",
             ),
         },
     },

@@ -33,7 +33,7 @@ __all__ = [
 
 #: Bumped whenever rule semantics or the dataflow machinery change, so
 #: stale incremental-cache entries can never satisfy a newer engine.
-ANALYSIS_VERSION = "2-interproc"
+ANALYSIS_VERSION = "3-numpy-det"
 
 
 @dataclass(frozen=True, order=True)

@@ -42,6 +42,13 @@ DET-012     unsorted filesystem enumeration (``os.listdir``, ``glob``,
             ``Path.glob/rglob/iterdir``) — directory order is
             filesystem-dependent, so any derived ordering differs
             between machines unless wrapped in ``sorted(...)``
+DET-013     numpy determinism escapes in the vectorized hot core:
+            draws on the process-global ``numpy.random`` stream,
+            unseeded ``default_rng()``/``RandomState()`` construction,
+            ``np.sort``/``np.argsort`` without ``kind="stable"``
+            (quicksort tie order is value-address dependent), and
+            ``np.unique(..., return_index=True)`` (first-occurrence
+            indices among equal keys inherit the unstable sort)
 ==========  ===========================================================
 
 DET-009 only fires when the engine runs interprocedurally (it needs the
@@ -68,6 +75,7 @@ __all__ = [
     "AddressDependentValue",
     "ModuleLevelMutableState",
     "UnsortedFilesystemEnumeration",
+    "NumpyDeterminismEscape",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -1005,4 +1013,139 @@ class UnsortedFilesystemEnumeration(Rule):
             ):
                 return True
             current = parent
+        return False
+
+
+def _dotted_call_target(module: ModuleContext, func: ast.AST) -> Optional[str]:
+    """Resolve an arbitrarily dotted call to its full import path.
+
+    ``np.random.default_rng`` under ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; ``default_rng`` under ``from
+    numpy.random import default_rng`` resolves the same.  ``None`` when
+    the root is not a statically known import.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = module.import_aliases.get(node.id)
+    if root is None:
+        origin = module.from_imports.get(node.id)
+        if origin is None:
+            return None
+        root = f"{origin[0]}.{origin[1]}"
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+#: ``numpy.random`` module-level functions that draw from (or reseed) the
+#: process-global legacy stream.
+_NUMPY_GLOBAL_DRAWS = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "bytes", "shuffle", "permutation", "uniform",
+        "normal", "standard_normal", "exponential", "poisson", "binomial",
+        "beta", "gamma", "seed", "set_state", "get_state",
+    }
+)
+
+#: Sort kinds numpy documents as stable (mergesort is an alias of stable).
+_STABLE_SORT_KINDS = frozenset({"stable", "mergesort"})
+
+
+@register
+class NumpyDeterminismEscape(Rule):
+    """DET-013: numpy escapes from seed-reproducibility in the hot core.
+
+    The vectorized fast paths (:mod:`repro.geo.vecops`,
+    :mod:`repro.geo.spatial_array`) put numpy on the trace-critical
+    path, which imports numpy's own determinism footguns:
+
+    * **global-stream draws** — ``np.random.rand()`` et al. are the
+      numpy flavour of DET-001: invisible to
+      :class:`~repro.sim.rng.RngRegistry`, perturbed by any other
+      caller in the process;
+    * **unseeded generators** — ``np.random.default_rng()`` /
+      ``np.random.RandomState()`` with no seed pull OS entropy
+      (DET-002's numpy flavour); a seeded construction passes;
+    * **unstable sorts** — ``np.sort`` / ``np.argsort`` default to
+      introsort: the relative order of *equal* keys depends on input
+      layout, so any downstream use of tied positions (candidate
+      ordering, index gathers) silently varies — pass
+      ``kind="stable"``;
+    * ``np.unique(..., return_index=True)`` — first-occurrence indices
+      among equal keys inherit that unstable tie order (plain
+      ``np.unique`` only returns the sorted uniques and passes).
+    """
+
+    id = "DET-013"
+    name = "numpy-determinism-escape"
+    rationale = (
+        "numpy's global random stream, unseeded generators, and unstable "
+        "default sorts make array-path results depend on process history "
+        "and input layout instead of the master seed."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py")
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted_call_target(module, node.func)
+            if target is None or not target.startswith("numpy."):
+                continue
+            tail = target[len("numpy."):]
+            if tail.startswith("random."):
+                attr = tail[len("random."):]
+                if attr in _NUMPY_GLOBAL_DRAWS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"numpy.random.{attr}() uses the process-global "
+                        "numpy stream; derive a seeded Generator from an "
+                        "RngRegistry stream instead",
+                    )
+                elif attr in {"default_rng", "RandomState"} and not (
+                    node.args or node.keywords
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unseeded numpy.random.{attr}() draws OS entropy; "
+                        "seed it from an RngRegistry stream",
+                    )
+            elif tail in {"sort", "argsort"}:
+                if not self._has_stable_kind(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"numpy.{tail}() defaults to an unstable sort — "
+                        "equal-key order depends on input layout; pass "
+                        'kind="stable"',
+                    )
+            elif tail == "unique" and self._passes_true(node, "return_index"):
+                yield self.finding(
+                    module,
+                    node,
+                    "numpy.unique(return_index=True) reports first-"
+                    "occurrence indices through an unstable sort; equal-key "
+                    "winners depend on input layout — compute indices with a "
+                    'stable argsort (kind="stable") instead',
+                )
+
+    @staticmethod
+    def _has_stable_kind(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "kind" and isinstance(keyword.value, ast.Constant):
+                return keyword.value.value in _STABLE_SORT_KINDS
+        return False
+
+    @staticmethod
+    def _passes_true(node: ast.Call, arg: str) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == arg and isinstance(keyword.value, ast.Constant):
+                return keyword.value.value is True
         return False

@@ -10,6 +10,9 @@ preserves the shapes.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pathlib
+import pstats
 import sys
 
 from repro.experiments.fig1 import (
@@ -28,6 +31,8 @@ from repro.experiments.overhead import (
 )
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.security import format_exposure, run_exposure_experiment
+from repro.net.medium import SPATIAL_MODES
+from repro.net.pool import POOL_MODES
 from repro.sim.timerwheel import SCHEDULER_MODES
 
 __all__ = ["main"]
@@ -52,6 +57,33 @@ def main(argv: list[str] | None = None) -> int:
         help="event-queue backend: wheel (timer wheel, default), heap "
         "(heapq reference), or cross (lockstep equivalence check); "
         "output is byte-identical for any value",
+    )
+    parser.add_argument(
+        "--spatial",
+        choices=SPATIAL_MODES,
+        default="array",
+        help="spatial backend: array (numpy batch classification, "
+        "default; falls back to obj without numpy), obj (object-graph "
+        "grid), or cross (array verified against the scalar path); "
+        "output is byte-identical for any value",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=POOL_MODES,
+        default="on",
+        help="frame/reception pooling: on (recycle, default), off "
+        "(per-transmission allocation), or cross (recycle + scrub "
+        "verification); output is byte-identical for any value",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="TOP_N",
+        help="run everything under cProfile and write the top-N "
+        "cumulative-time rows (default 25) to benchmarks/results/",
     )
     parser.add_argument(
         "--nodes",
@@ -105,6 +137,29 @@ def main(argv: list[str] | None = None) -> int:
         DEFAULT_NODE_COUNTS if args.full else (50, 100, 112, 150)
     )
 
+    if args.profile is not None:
+        # Results are printed as usual; the profile rides alongside as a
+        # deterministically named artifact (no timestamps — reruns
+        # overwrite, diffs stay reviewable).
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            _run_experiments(args, sim_time, counts, churn)
+        finally:
+            profiler.disable()
+            out_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"profile_runner_seed{args.seed}.txt"
+            with out_path.open("w", encoding="utf-8") as fh:
+                stats = pstats.Stats(profiler, stream=fh)
+                stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile)
+            print(f"[profile] top-{args.profile} cumulative rows -> {out_path}")
+    else:
+        _run_experiments(args, sim_time, counts, churn)
+    return 0
+
+
+def _run_experiments(args, sim_time: float, counts: tuple, churn) -> None:
     if "fig1" not in args.skip:
         impairments = []
         if args.loss_model != "none":
@@ -120,6 +175,8 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             base=ScenarioConfig(
                 scheduler_mode=args.scheduler,
+                spatial_mode=args.spatial,
+                pool_mode=args.pool,
                 loss_model=args.loss_model,
                 loss_rate=args.loss_rate,
             ),
@@ -156,12 +213,14 @@ def main(argv: list[str] | None = None) -> int:
             sim_time=fault_time,
             seed=args.seed,
             jobs=args.jobs,
-            base=ScenarioConfig(scheduler_mode=args.scheduler),
+            base=ScenarioConfig(
+                scheduler_mode=args.scheduler,
+                spatial_mode=args.spatial,
+                pool_mode=args.pool,
+            ),
         )
         print(format_faults_sweep(fault_points))
         print()
-
-    return 0
 
 
 if __name__ == "__main__":

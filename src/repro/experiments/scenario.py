@@ -32,7 +32,8 @@ from repro.location.service import OracleLocationService
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
 from repro.metrics.faults import FaultMetrics
 from repro.metrics.stats import Summary, summarize
-from repro.net.medium import RadioMedium
+from repro.net.medium import RadioMedium, validate_spatial_mode
+from repro.net.pool import validate_pool_mode
 from repro.net.mobility import RandomWaypointMobility, StaticMobility
 from repro.net.node import Node
 from repro.routing.base import RouterStats
@@ -71,6 +72,16 @@ class ScenarioConfig:
     # therefore every trace byte — is identical in all three modes; see
     # repro.sim.timerwheel.
     scheduler_mode: str = "wheel"
+    # Spatial backend: "array" (numpy batch classification, default —
+    # silently falls back to "obj" without numpy or with
+    # medium_index="brute"), "obj" (object-graph grid), or "cross" (array
+    # verified against the scalar computation on every transmission).
+    # Bitwise-identical traces in all three; see repro.geo.spatial_array.
+    spatial_mode: str = "array"
+    # Frame/reception pooling: "on" (recycle, default), "off" (the exact
+    # pre-pool allocation path), or "cross" (recycle + scrub/verify every
+    # object across the free boundary).  See repro.net.pool.
+    pool_mode: str = "on"
 
     # Mobility (paper defaults); static=True pins nodes for debugging.
     min_speed: float = 1.0
@@ -124,6 +135,8 @@ class ScenarioConfig:
             raise ValueError("sim_time must be positive")
         validate_cache_mode(self.crypto_cache_mode)
         validate_scheduler_mode(self.scheduler_mode)
+        validate_spatial_mode(self.spatial_mode)
+        validate_pool_mode(self.pool_mode)
         validate_loss_model(self.loss_model)
         if self.loss_model == "none" and (self.loss_rate or self.loss_params):
             raise ValueError(
@@ -193,6 +206,8 @@ class Scenario:
             radio_range=config.radio_range,
             interference_range=config.interference_range,
             index_mode=config.medium_index,
+            spatial_mode=config.spatial_mode,
+            pool_mode=config.pool_mode,
         )
         self.region = Region.of_size(config.width, config.height)
         self.rngs = RngRegistry(config.seed)

@@ -150,11 +150,10 @@ class SpatialIndex:
             self._unbounded.append(entry)
         if speed is None or speed > 0.0:
             self._moving += 1
-        subscribe = getattr(mobility, "subscribe", None)
-        if callable(subscribe):
-            # Teleporting models notify on discontinuities; mark stale so the
-            # next refresh re-bins from the post-teleport position.
-            subscribe(lambda e=entry: self._invalidate(e))
+        # Part of the MobilityModel protocol: teleporting models notify on
+        # discontinuities (mark stale so the next refresh re-bins from the
+        # post-teleport position); continuous models register and never call.
+        mobility.subscribe(lambda e=entry: self._invalidate(e))
         self._bin(entry, now, first=True)
 
     def invalidate_all(self) -> None:
@@ -275,15 +274,14 @@ class SpatialIndex:
     def _speed_bound(mobility: object) -> Optional[float]:
         """An upper bound on the model's speed, or ``None`` when unknowable.
 
-        * models exposing ``max_speed`` (random waypoint) are bounded by it;
-        * models exposing ``subscribe`` (teleport notification, i.e.
-          :class:`~repro.net.mobility.StaticMobility`) never move between
-          notifications — bound 0;
-        * anything else is treated as unknowable and re-binned every query.
+        Models expose ``max_speed`` for their drift between subscribe
+        notifications: 20 m/s for random waypoint, 0 for
+        :class:`~repro.net.mobility.StaticMobility` (teleports arrive via
+        :meth:`~repro.net.mobility.MobilityModel.subscribe`, which every
+        model implements).  A model without the attribute is treated as
+        unknowable and re-binned every query — slower, never wrong.
         """
         max_speed = getattr(mobility, "max_speed", None)
         if max_speed is not None:
             return float(max_speed)
-        if callable(getattr(mobility, "subscribe", None)):
-            return 0.0
         return None

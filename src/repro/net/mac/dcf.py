@@ -122,7 +122,31 @@ class DcfMac:
         self._wait_timer: Optional[Event] = None
         self._nav_timer: Optional[Event] = None
 
+        #: Shared frame pool (``None`` = pool_mode "off": construct frames
+        #: directly, the exact pre-pool path).
+        self._frame_pool = phy.medium.frame_pool
+
         phy.mac = self
+
+    def _make_frame(
+        self,
+        kind: FrameKind,
+        dst: MacAddress,
+        packet: Optional[Packet] = None,
+        nav: float = 0.0,
+    ) -> MacFrame:
+        """Construct or pool-acquire a frame; one uid is drawn either way.
+
+        A frame built here is transmitted at most once and recycled by the
+        medium when its airtime ends; SIFS responses that never fire
+        (crash or half-duplex clash in :meth:`_respond`) are simply
+        abandoned to the garbage collector — the pool is a free list, not
+        a reference counter, so an unreleased frame is safe.
+        """
+        pool = self._frame_pool
+        if pool is not None:
+            return pool.acquire_frame(kind, self.address, dst, packet=packet, nav=nav)
+        return MacFrame(kind, self.address, dst, packet=packet, nav=nav)
 
     # =============================================================== sending
     def send(
@@ -277,7 +301,7 @@ class DcfMac:
 
     def _send_rts(self, op: TxOp) -> None:
         nav = self.params.nav_for_rts(op.packet.size_bytes())
-        frame = MacFrame(FrameKind.RTS, self.address, op.dst, nav=nav)
+        frame = self._make_frame(FrameKind.RTS, op.dst, nav=nav)
         duration = frame.duration(self.params)
         self.phy.transmit(frame, duration)
         self.stats.rts_tx += 1
@@ -291,7 +315,7 @@ class DcfMac:
         nav = 0.0
         if not op.is_broadcast:
             nav = self.params.sifs + self.params.control_duration(self.params.ack_bytes)
-        frame = MacFrame(FrameKind.DATA, self.address, op.dst, packet=op.packet, nav=nav)
+        frame = self._make_frame(FrameKind.DATA, op.dst, packet=op.packet, nav=nav)
         duration = frame.duration(self.params)
         self.phy.transmit(frame, duration)
         self.stats.data_tx += 1
@@ -366,7 +390,7 @@ class DcfMac:
                     - self.params.sifs
                     - self.params.control_duration(self.params.cts_bytes),
                 )
-                self._respond(MacFrame(FrameKind.CTS, self.address, frame.src, nav=cts_nav))
+                self._respond(self._make_frame(FrameKind.CTS, frame.src, nav=cts_nav))
             else:
                 self._set_nav(frame.nav)
         elif kind is FrameKind.CTS:
@@ -377,7 +401,7 @@ class DcfMac:
                 self._set_nav(frame.nav)
         elif kind is FrameKind.DATA:
             if frame.dst == self.address:
-                self._respond(MacFrame(FrameKind.ACK, self.address, frame.src))
+                self._respond(self._make_frame(FrameKind.ACK, frame.src))
                 self._deliver_up(frame)
             elif frame.dst.is_broadcast:
                 self._deliver_up(frame)

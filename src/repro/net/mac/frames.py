@@ -16,9 +16,19 @@ from repro.net.addresses import MacAddress
 from repro.net.mac.constants import Dot11Params
 from repro.net.packet import Packet
 
-__all__ = ["FrameKind", "MacFrame"]
+__all__ = ["FrameKind", "MacFrame", "next_frame_uid"]
 
 _frame_uid = itertools.count(1)
+
+
+def next_frame_uid() -> int:
+    """Draw the next frame uid.
+
+    The same counter feeds both fresh constructions (via the dataclass
+    factory below) and :class:`~repro.net.pool.FramePool` re-stamps, so
+    the trace-visible uid sequence is identical with pooling on or off.
+    """
+    return next(_frame_uid)
 
 
 class FrameKind(Enum):
@@ -40,6 +50,9 @@ class MacFrame:
     packet: Optional[Packet] = None
     nav: float = 0.0
     uid: int = field(default_factory=lambda: next(_frame_uid))
+    #: Pool recycling stamp (:mod:`repro.net.pool`): 0 = never pooled,
+    #: positive = live acquire stamp, negative = sitting in a free list.
+    generation: int = 0
 
     def duration(self, params: Dot11Params) -> float:
         """Airtime of this frame under ``params``."""

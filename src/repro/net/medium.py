@@ -30,26 +30,67 @@ delivery/corruption outcomes.  ``index_mode`` selects:
 * ``"cross"`` — run the index *and* verify it against the full scan on
   every query, raising on any divergence (the equivalence regression
   harness).
+
+Two further orthogonal axes vectorize the hot path (PR 7), each behind
+the same byte-identical discipline:
+
+* ``spatial_mode`` — ``"obj"`` keeps the object-graph index above;
+  ``"array"`` swaps in :class:`repro.geo.spatial_array.ArraySpatialIndex`
+  (numpy batch kernels; the whole fan-out classified in a few ufunc
+  sweeps) and feeds each receiver its precomputed sender distance;
+  ``"cross"`` runs the array path and verifies the full classification —
+  membership, order, deliverability, and bitwise distances — against the
+  scalar object computation on every transmission.  Falls back to
+  ``"obj"`` when numpy is unavailable or ``index_mode="brute"`` pins the
+  reference scan.
+* ``pool_mode`` — ``"off"`` allocates per transmission as always;
+  ``"on"`` recycles MAC frames through a :class:`repro.net.pool.FramePool`
+  and consolidates each radio's reception bookkeeping into pooled
+  records; ``"cross"`` additionally scrub-verifies every object across
+  the free boundary.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.geo import vecops
 from repro.geo.spatial import SpatialIndex
+from repro.geo.spatial_array import ArraySpatialIndex, FanOut
 from repro.geo.vec import Position
 from repro.net.mac.frames import MacFrame
+from repro.net.pool import FramePool, validate_pool_mode
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.phy import PhyRadio
 
-__all__ = ["Transmission", "RadioMedium", "INDEX_MODES"]
+__all__ = [
+    "Transmission",
+    "RadioMedium",
+    "INDEX_MODES",
+    "SPATIAL_MODES",
+    "SpatialCoherenceError",
+    "validate_spatial_mode",
+]
 
 INDEX_MODES = ("grid", "brute", "cross")
+SPATIAL_MODES = ("obj", "array", "cross")
+
+
+def validate_spatial_mode(mode: str) -> str:
+    """Validate a ``spatial_mode`` value, returning it for chaining."""
+    if mode not in SPATIAL_MODES:
+        raise ValueError(f"spatial_mode must be one of {SPATIAL_MODES}")
+    return mode
+
+
+class SpatialCoherenceError(AssertionError):
+    """The vectorized fan-out diverged from the scalar object path."""
 
 
 @dataclass(slots=True)
@@ -91,16 +132,22 @@ class RadioMedium:
         index_mode: str = "grid",
         index_cell_size: Optional[float] = None,
         index_refresh_quantum: Optional[float] = None,
+        spatial_mode: str = "obj",
+        pool_mode: str = "off",
     ) -> None:
         if interference_range < radio_range:
             raise ValueError("interference range must cover the radio range")
         if index_mode not in INDEX_MODES:
             raise ValueError(f"index_mode must be one of {INDEX_MODES}")
+        validate_spatial_mode(spatial_mode)
+        validate_pool_mode(pool_mode)
         self.sim = sim
         self.tracer = tracer
         self.radio_range = radio_range
         self.interference_range = interference_range
         self.index_mode = index_mode
+        self.spatial_mode = spatial_mode
+        self.pool_mode = pool_mode
         self._radios: List["PhyRadio"] = []
         self._radio_range2 = radio_range * radio_range
         self._interference_range2 = interference_range * interference_range
@@ -109,23 +156,49 @@ class RadioMedium:
         # uid 1 and trace output stays identical run-to-run (previously a
         # module-global leaked state across Simulator instances).
         self._tx_uid = itertools.count(1)
+        #: Frame/reception pool; ``None`` (pool_mode="off") keeps every
+        #: consumer on the exact pre-pool allocation path.
+        self.frame_pool: Optional[FramePool] = (
+            FramePool(pool_mode) if pool_mode != "off" else None
+        )
+        # Backend resolution: the array backend replaces the grid; the
+        # brute reference scan and numpy-less installs keep the object
+        # path (graceful fallback, surfaced via spatial_effective).
+        use_array = (
+            spatial_mode != "obj" and index_mode != "brute" and vecops.HAVE_NUMPY
+        )
+        self.spatial_effective = spatial_mode if use_array else "obj"
+        cell = index_cell_size if index_cell_size is not None else interference_range
+        self._aindex: Optional[ArraySpatialIndex] = (
+            ArraySpatialIndex(cell_size=cell, refresh_quantum=index_refresh_quantum)
+            if use_array
+            else None
+        )
         self._index: Optional[SpatialIndex] = None
-        if index_mode != "brute":
-            self._index = SpatialIndex(
-                cell_size=index_cell_size if index_cell_size is not None else interference_range,
-                refresh_quantum=index_refresh_quantum,
-            )
+        if not use_array and index_mode != "brute":
+            self._index = SpatialIndex(cell_size=cell, refresh_quantum=index_refresh_quantum)
         #: Static fan-out memo: sender node id -> (index version, sender
-        #: (x, y), affected radios in registration order, deliverable ids).
+        #: (x, y), affected radios in registration order, deliverable ids,
+        #: per-receiver distances — ``None`` on the object path, which
+        #: recomputes them in ``on_tx_start`` exactly as the seed did).
         #: Consulted only while the index proves every radio static; any
         #: membership change or teleport bumps the version and drops it.
         self._fanout_memo: Dict[
-            int, Tuple[int, Tuple[float, float], List["PhyRadio"], FrozenSet[int]]
+            int,
+            Tuple[
+                int,
+                Tuple[float, float],
+                List["PhyRadio"],
+                FrozenSet[int],
+                Optional[List[float]],
+            ],
         ] = {}
 
     def register(self, radio: "PhyRadio") -> None:
         self._radios.append(radio)
-        if self._index is not None:
+        if self._aindex is not None:
+            self._aindex.add(radio, self.sim.now)
+        elif self._index is not None:
             self._index.add(radio, self.sim.now)
 
     @property
@@ -141,6 +214,8 @@ class RadioMedium:
     def _candidates(self, center: Position, rng: float) -> Sequence["PhyRadio"]:
         """Radios that may lie within ``rng`` of ``center`` (superset,
         registration order), per the configured index mode."""
+        if self._aindex is not None:
+            return self._aindex.candidates_within(center, rng, self.sim.now)
         if self._index is None:
             return self._radios
         return self._index.candidates_within(center, rng, self.sim.now)
@@ -175,7 +250,22 @@ class RadioMedium:
         radio frees up).  Reception outcomes are decided when it ends.
         """
         now = self.sim.now
-        sender_pos = sender.position
+        aindex = self._aindex
+        fan: Optional[FanOut] = None
+        if aindex is not None:
+            # One batched sweep classifies the whole fan-out; the sender's
+            # own position comes from the same kernel (bitwise equal to
+            # the scalar interpolation, see repro.geo.vecops).
+            fan = aindex.classify_fanout(
+                sender.node_id,
+                now,
+                self.interference_range,
+                self._radio_range2,
+                self._interference_range2,
+            )
+            sender_pos = Position(fan.sx, fan.sy)
+        else:
+            sender_pos = sender.position
         tx = Transmission(
             uid=next(self._tx_uid),
             sender_id=sender.node_id,
@@ -207,7 +297,7 @@ class RadioMedium:
         sender.begin_transmit(tx)
         radio_range2 = self._radio_range2
         interference_range2 = self._interference_range2
-        index = self._index
+        index = self._aindex if aindex is not None else self._index
         # -1 disables the memo (brute mode, or some radio can move); the
         # index version is read *before* the gather, so a concurrent
         # invalidation would make the stored stamp compare stale — never
@@ -223,8 +313,51 @@ class RadioMedium:
             affected = cached[2]
             if cached[3]:
                 tx.deliverable_to.update(cached[3])
-            for radio in affected:
-                radio.on_tx_start(tx)
+            dists = cached[4]
+            if dists is None:
+                for radio in affected:
+                    radio.on_tx_start(tx)
+            else:
+                for radio, dist in zip(affected, dists):
+                    radio.on_tx_start(tx, dist)
+        elif fan is not None:
+            affected = []
+            radios = self._radios
+            deliverable = tx.deliverable_to
+            hypot = math.hypot
+            rows, fdx, fdy, fdel = fan.rows, fan.dx, fan.dy, fan.deliverable
+            # The distances list is only consumed by the static-fan-out
+            # memo and the cross check; mobile non-cross runs (the common
+            # hot case) skip collecting it entirely.
+            keep_dists = memo_version >= 0 or self.spatial_mode == "cross"
+            dists: Optional[List[float]] = [] if keep_dists else None
+            if keep_dists:
+                for row, dxv, dyv, deliv in zip(rows, fdx, fdy, fdel):
+                    radio = radios[row]
+                    # Scalar hypot on the batch-derived deltas: bitwise
+                    # what own_pos.distance_to(sender_pos) computes on the
+                    # object path, so capture ratios and loss draws see
+                    # identical floats.
+                    dist = hypot(dxv, dyv)
+                    if deliv:
+                        deliverable.add(radio.node_id)
+                    radio.on_tx_start(tx, dist)
+                    affected.append(radio)
+                    dists.append(dist)
+            else:
+                for row, dxv, dyv, deliv in zip(rows, fdx, fdy, fdel):
+                    radio = radios[row]
+                    dist = hypot(dxv, dyv)
+                    if deliv:
+                        deliverable.add(radio.node_id)
+                    radio.on_tx_start(tx, dist)
+                    affected.append(radio)
+            if memo_version >= 0:
+                self._fanout_memo[sender.node_id] = (
+                    memo_version, pos_key, affected, frozenset(deliverable), dists
+                )
+            if self.spatial_mode == "cross":
+                self._spatial_cross_check(sender, sender_pos, affected, dists, fan)
         else:
             affected = []
             for radio in self._candidates(sender_pos, self.interference_range):
@@ -241,18 +374,63 @@ class RadioMedium:
                 # place (recomputes build a fresh list), so in-flight
                 # _finish closures stay correct across invalidation.
                 self._fanout_memo[sender.node_id] = (
-                    memo_version, pos_key, affected, frozenset(tx.deliverable_to)
+                    memo_version, pos_key, affected, frozenset(tx.deliverable_to), None
                 )
         if self.index_mode == "cross":
             self._cross_check(sender_pos, self.interference_range, affected, sender)
+
+        pool = self.frame_pool
 
         def _finish() -> None:
             sender.end_transmit(tx)
             for radio in affected:
                 radio.on_tx_end(tx)
+            if pool is not None:
+                # The frame's airtime is over and every receiver has
+                # consumed it synchronously above — recycle it.
+                pool.release_frame(frame)
 
         self.sim.schedule(duration, _finish, priority=-1, name="phy.tx_end")
         return tx
+
+    def _spatial_cross_check(
+        self,
+        sender: "PhyRadio",
+        sender_pos: Position,
+        affected: List["PhyRadio"],
+        dists: List[float],
+        fan: FanOut,
+    ) -> None:
+        """spatial_mode="cross": verify the batched classification against
+        the scalar object computation — membership, order, deliverability,
+        and *bitwise* sender position and distances."""
+        ref = sender.position
+        if (ref.x, ref.y) != (sender_pos.x, sender_pos.y):
+            raise SpatialCoherenceError(
+                f"batched sender position {sender_pos.as_tuple()!r} != scalar "
+                f"{ref.as_tuple()!r} at t={self.sim.now:.9f}"
+            )
+        expected: List[Tuple["PhyRadio", float, bool]] = []
+        for radio in self._radios:
+            if radio is sender:
+                continue
+            rpos = radio.position
+            d2 = rpos.distance2_to(sender_pos)
+            if d2 <= self._interference_range2:
+                expected.append(
+                    (radio, rpos.distance_to(sender_pos), d2 <= self._radio_range2)
+                )
+        got = list(zip(affected, dists, fan.deliverable))
+        if len(expected) != len(got) or any(
+            e[0] is not g[0] or e[1] != g[1] or e[2] != g[2]
+            for e, g in zip(expected, got)
+        ):
+            raise SpatialCoherenceError(
+                "vectorized fan-out diverged from the scalar path at "
+                f"t={self.sim.now:.9f}: expected "
+                f"{[(r.node_id, d, dl) for r, d, dl in expected]}, got "
+                f"{[(r.node_id, d, dl) for r, d, dl in got]}"
+            )
 
     # --------------------------------------------------------------- faults
     def invalidate_radio(self, radio: "PhyRadio") -> None:
@@ -266,7 +444,9 @@ class RadioMedium:
         the seed behaviour is byte-identical.
         """
         self._fanout_memo.clear()
-        if self._index is not None:
+        if self._aindex is not None:
+            self._aindex.invalidate_all()
+        elif self._index is not None:
             self._index.invalidate_all()
 
     # -------------------------------------------------------------- queries
@@ -285,4 +465,6 @@ class RadioMedium:
 
     def index_stats(self) -> Optional[dict]:
         """Spatial-index telemetry (``None`` in brute-force mode)."""
+        if self._aindex is not None:
+            return self._aindex.stats()
         return self._index.stats() if self._index is not None else None

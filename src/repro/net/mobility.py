@@ -23,7 +23,15 @@ __all__ = ["MobilityModel", "StaticMobility", "RandomWaypointMobility", "Waypoin
 
 
 class MobilityModel(Protocol):
-    """Anything that can report a node position at a simulated time."""
+    """Anything that can report a node position at a simulated time.
+
+    ``subscribe`` is part of the protocol (not duck-typed): consumers
+    that cache positions — the spatial index backends — register a
+    callback and are notified on every *discontinuity* (teleport).
+    Models whose trajectories are continuous between queries
+    (:class:`RandomWaypointMobility`) simply never call back; their
+    ``subscribe`` is a no-op registration, not an absence.
+    """
 
     def position_at(self, time: float) -> Position:
         """Position of the node at ``time`` (monotone queries expected)."""
@@ -31,6 +39,10 @@ class MobilityModel(Protocol):
 
     def velocity_at(self, time: float) -> tuple[float, float]:
         """Velocity vector (m/s) at ``time`` — used by freshness-aware forwarding."""
+        ...
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run after every positional discontinuity."""
         ...
 
 
@@ -50,6 +62,11 @@ class StaticMobility:
        :class:`repro.faults.FaultPlan` /
        :meth:`repro.net.node.Node.fail`.
     """
+
+    #: Speed bound between notifications: a static node never drifts, so
+    #: index consumers may bin it once and rely on :meth:`subscribe` for
+    #: the (discontinuous) teleports.
+    max_speed: float = 0.0
 
     def __init__(self, position: Position) -> None:
         self._position = position
@@ -169,6 +186,11 @@ class RandomWaypointMobility:
 
     def velocity_at(self, time: float) -> tuple[float, float]:
         return self._leg.velocity_at(time)
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Protocol no-op: RWP trajectories are continuous (legs chain
+        origin := previous target), so there is never a discontinuity to
+        notify — the speed bound alone keeps cached bins sound."""
 
     @property
     def current_leg(self) -> WaypointLeg:

@@ -21,10 +21,11 @@ Fault hooks (both absent by default — the seed code path is unchanged):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from repro.geo.vec import Position
 from repro.net.mobility import MobilityModel
+from repro.net.pool import Reception
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -62,7 +63,21 @@ class PhyRadio:
         self.tracer = tracer
         self.mac: Optional["DcfMac"] = None
 
-        self._impinging: Dict[int, Transmission] = {}
+        # Reception bookkeeping comes in two shapes sharing one dict (so
+        # ``carrier_busy`` is representation-agnostic): unpooled, the
+        # seed triple — _impinging maps uid -> Transmission with the
+        # distance and corrupted verdict in the side containers; pooled,
+        # _impinging maps uid -> recycled Reception record that carries
+        # all three fields, and the side containers stay empty.
+        self._pool = medium.frame_pool
+        self._pooled = self._pool is not None
+        self._rec_checked = self._pooled and self._pool.checked
+        #: Inline free list for pool_mode="on": at ~150 receptions per
+        #: broadcast frame a method call per record is measurable, so the
+        #: fast path pops/pushes locally; "cross" routes through the
+        #: pool's checked acquire/release instead.
+        self._rec_free: List[Reception] = []
+        self._impinging: Dict[int, Union[Transmission, Reception]] = {}
         self._distances: Dict[int, float] = {}
         self._corrupted: set[int] = set()
         self._own_tx: Optional[Transmission] = None
@@ -114,8 +129,12 @@ class PhyRadio:
     def begin_transmit(self, tx: "Transmission") -> None:
         self._own_tx = tx
         # Half-duplex: anything being received right now is lost.
-        for uid in self._impinging:
-            self._corrupted.add(uid)
+        if self._pooled:
+            for rec in self._impinging.values():
+                rec.corrupted = True
+        else:
+            for uid in self._impinging:
+                self._corrupted.add(uid)
 
     def end_transmit(self, tx: "Transmission") -> None:
         self._own_tx = None
@@ -123,31 +142,86 @@ class PhyRadio:
             self.mac.on_channel_idle()
 
     # ------------------------------------------------------------ reception
-    def on_tx_start(self, tx: "Transmission") -> None:
-        was_idle = not self.carrier_busy
-        own_pos = self.position
-        new_distance = own_pos.distance_to(tx.sender_pos)
-        if self._own_tx is not None:
+    def on_tx_start(self, tx: "Transmission", distance: Optional[float] = None) -> None:
+        """A transmission starts impinging on this radio.
+
+        ``distance`` is the receiver-to-sender distance when the medium
+        already classified the fan-out in batch
+        (:class:`~repro.geo.spatial_array.ArraySpatialIndex` feeds the
+        bitwise-identical value); ``None`` recomputes it here exactly as
+        the seed did — the dominant cost of the object path at scale.
+        """
+        if distance is None:
+            own_pos = self.position
+            new_distance = own_pos.distance_to(tx.sender_pos)
+        else:
+            new_distance = distance
+        if self._pooled:
+            # carrier_busy inlined (this method runs once per radio per
+            # transmission — the hottest call site in the simulator).
+            impinging = self._impinging
+            own_tx = self._own_tx
+            was_idle = not impinging and own_tx is None
             # Half-duplex: nothing arriving during our own TX is decodable.
-            self._corrupted.add(tx.uid)
-        for uid, other in self._impinging.items():
-            other_distance = self._distances[uid]
-            # Pairwise capture: a reception is ruined only by an interferer
-            # whose signal is within 10 dB of (or stronger than) it.
-            if new_distance < other_distance * CAPTURE_DISTANCE_RATIO:
-                self._corrupted.add(uid)
-            if other_distance < new_distance * CAPTURE_DISTANCE_RATIO:
+            new_corrupted = own_tx is not None
+            if impinging:
+                for rec in impinging.values():
+                    other_distance = rec.distance
+                    # Pairwise capture: a reception is ruined only by an
+                    # interferer whose signal is within 10 dB of (or
+                    # stronger than) it.
+                    if new_distance < other_distance * CAPTURE_DISTANCE_RATIO:
+                        rec.corrupted = True
+                    if other_distance < new_distance * CAPTURE_DISTANCE_RATIO:
+                        new_corrupted = True
+            if self._rec_checked:
+                rec = self._pool.acquire_reception(tx, new_distance, new_corrupted)
+            else:
+                free = self._rec_free
+                if free:
+                    rec = free.pop()
+                    rec.tx = tx
+                    rec.distance = new_distance
+                    rec.corrupted = new_corrupted
+                else:
+                    rec = Reception(tx, new_distance, new_corrupted)
+            impinging[tx.uid] = rec
+        else:
+            was_idle = not self.carrier_busy
+            if self._own_tx is not None:
+                # Half-duplex: nothing arriving during our own TX is decodable.
                 self._corrupted.add(tx.uid)
-        self._impinging[tx.uid] = tx
-        self._distances[tx.uid] = new_distance
+            for uid, other in self._impinging.items():
+                other_distance = self._distances[uid]
+                # Pairwise capture: a reception is ruined only by an interferer
+                # whose signal is within 10 dB of (or stronger than) it.
+                if new_distance < other_distance * CAPTURE_DISTANCE_RATIO:
+                    self._corrupted.add(uid)
+                if other_distance < new_distance * CAPTURE_DISTANCE_RATIO:
+                    self._corrupted.add(tx.uid)
+            self._impinging[tx.uid] = tx
+            self._distances[tx.uid] = new_distance
         if was_idle and self.mac is not None and not self.down:
             self.mac.on_channel_busy()
 
     def on_tx_end(self, tx: "Transmission") -> None:
-        self._impinging.pop(tx.uid, None)
-        distance = self._distances.pop(tx.uid, 0.0)
-        corrupted = tx.uid in self._corrupted
-        self._corrupted.discard(tx.uid)
+        if self._pooled:
+            rec = self._impinging.pop(tx.uid, None)
+            if rec is None:
+                distance, corrupted = 0.0, False
+            else:
+                distance = rec.distance
+                corrupted = rec.corrupted
+                if self._rec_checked:
+                    self._pool.release_reception(rec)
+                else:
+                    rec.tx = None  # drop the Transmission ref while free
+                    self._rec_free.append(rec)
+        else:
+            self._impinging.pop(tx.uid, None)
+            distance = self._distances.pop(tx.uid, 0.0)
+            corrupted = tx.uid in self._corrupted
+            self._corrupted.discard(tx.uid)
 
         if self.down:
             # A dead radio decodes nothing and owes the MAC no carrier
@@ -196,10 +270,11 @@ class PhyRadio:
         # below sensitivity — neither delivered nor a CRC failure, so the
         # EIFS decision below treats it like plain channel noise.
 
-        if not self.carrier_busy:
+        if not self._impinging and self._own_tx is None:  # carrier_busy inlined
             # EIFS applies only after a decodable frame failed its CRC; a
             # transmission that was merely sensed (out of radio range) is
             # plain channel noise and releases with a normal DIFS.
             self._last_ended_corrupted = deliverable and corrupted
-            if self.mac is not None:
-                self.mac.on_channel_idle()
+            mac = self.mac
+            if mac is not None:
+                mac.on_channel_idle()

@@ -548,3 +548,135 @@ def test_det008_audited_spatial_index_is_exempt(tmp_path):
         rel="src/repro/geo/spatial.py",
     )
     assert rule_ids(result) == []
+
+
+# ------------------------------------------------------------------- DET-013
+def test_det013_global_numpy_stream(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def jitter(xs):
+            return xs + np.random.uniform(0.0, 1.0, len(xs))
+        """,
+        select=["DET-013"],
+    )
+    assert rule_ids(result) == ["DET-013"]
+    assert "process-global" in result.findings[0].message
+
+
+def test_det013_unseeded_default_rng(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from numpy.random import default_rng
+
+        def make_gen():
+            return default_rng()
+        """,
+        select=["DET-013"],
+    )
+    assert rule_ids(result) == ["DET-013"]
+    assert "OS entropy" in result.findings[0].message
+
+
+def test_det013_unseeded_randomstate(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import numpy\n\nrs = numpy.random.RandomState()\n",
+        select=["DET-013"],
+    )
+    assert rule_ids(result) == ["DET-013"]
+
+
+def test_det013_seeded_generator_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def make_gen(seed_stream):
+            return np.random.default_rng(seed_stream.getrandbits(64))
+        """,
+        select=["DET-013"],
+    )
+    assert result.findings == []
+
+
+def test_det013_unstable_argsort(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def order(keys):
+            return np.argsort(keys)
+
+        def ranked(keys):
+            return np.sort(keys)
+        """,
+        select=["DET-013"],
+    )
+    assert rule_ids(result) == ["DET-013", "DET-013"]
+    assert 'kind="stable"' in result.findings[0].message
+
+
+def test_det013_stable_sort_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def order(keys):
+            return np.argsort(keys, kind="stable")
+
+        def ranked(keys):
+            return np.sort(keys, kind="mergesort")
+        """,
+        select=["DET-013"],
+    )
+    assert result.findings == []
+
+
+def test_det013_unique_with_return_index(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def firsts(keys):
+            values, index = np.unique(keys, return_index=True)
+            return index
+        """,
+        select=["DET-013"],
+    )
+    assert rule_ids(result) == ["DET-013"]
+    assert "return_index" in result.findings[0].message
+
+
+def test_det013_plain_unique_passes(tmp_path):
+    """Sorted uniques carry no tie-order information (the
+    ArraySpatialIndex.stats() occupancy count is this shape)."""
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def occupancy(packed_cells):
+            cells, counts = np.unique(packed_cells, return_counts=True)
+            return len(cells), counts.max()
+        """,
+        select=["DET-013"],
+    )
+    assert result.findings == []
+
+
+def test_det013_tests_are_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import numpy as np\n\nxs = np.random.rand(4)\n",
+        select=["DET-013"],
+        rel="tests/test_fixture.py",
+    )
+    assert result.findings == []

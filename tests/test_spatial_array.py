@@ -1,0 +1,257 @@
+"""Array spatial backend: unit contracts + whole-scenario equivalence.
+
+The array backend (``spatial_mode="array"``) is only admissible because
+it is *outcome-invisible*: candidates come back in registration order,
+every escaping float is bitwise what the object path computes, and whole
+scenarios — mobile, faulted, and multiprocess — trace identically under
+``obj``, ``array``, and ``cross``.  ``cross`` additionally re-derives
+every fan-out with the scalar path inside the run, so a passing cross
+run is a per-transmission proof for that workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.scenario import Scenario, ScenarioConfig, run_scenario
+from repro.faults import FaultPlan
+from repro.geo import vecops
+from repro.geo.spatial import SpatialIndex
+from repro.geo.vec import Position
+from repro.geo.region import Region
+from repro.net.medium import SPATIAL_MODES, RadioMedium
+from repro.net.mobility import RandomWaypointMobility, StaticMobility
+from repro.net.phy import PhyRadio
+from repro.sim.engine import Simulator
+
+requires_numpy = pytest.mark.skipif(
+    not vecops.HAVE_NUMPY, reason="numpy not available (repro[fast] extra)"
+)
+
+
+# ------------------------------------------------------------ unit level
+def _static_population(seed: int, n: int = 30):
+    """A medium with ``n`` static radios scattered over the paper arena."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    medium = RadioMedium(sim, spatial_mode="array")
+    radios = [
+        PhyRadio(
+            sim,
+            i,
+            medium,
+            StaticMobility(Position(rng.uniform(0, 1500), rng.uniform(0, 300))),
+        )
+        for i in range(n)
+    ]
+    return sim, medium, radios
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_candidates_registration_order_matches_object_index(seed):
+    sim, medium, radios = _static_population(seed)
+    assert medium.spatial_effective == "array"
+    aindex = medium._aindex
+    obj = SpatialIndex(cell_size=550.0)
+    for radio in radios:
+        obj.add(radio, sim.now)
+    rng = random.Random(seed + 100)
+    for _ in range(20):
+        center = Position(rng.uniform(-100, 1600), rng.uniform(-100, 400))
+        got = aindex.candidates_within(center, 550.0, sim.now)
+        want = obj.candidates_within(center, 550.0, sim.now)
+        assert got == want  # same radios, same registration order
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [4, 5])
+def test_classify_fanout_bitwise_matches_scalar_recompute(seed):
+    sim, medium, radios = _static_population(seed)
+    aindex = medium._aindex
+    r2 = medium._radio_range2
+    i2 = medium._interference_range2
+    for sender in radios[:8]:
+        fan = aindex.classify_fanout(sender.node_id, sim.now, medium.interference_range, r2, i2)
+        spos = sender.mobility.position_at(sim.now)
+        assert struct.pack("<dd", fan.sx, fan.sy) == struct.pack("<dd", spos.x, spos.y)
+        expected = []
+        for radio in radios:  # brute scalar reference, registration order
+            if radio is sender:
+                continue
+            rpos = radio.mobility.position_at(sim.now)
+            if rpos.distance2_to(spos) <= i2:
+                expected.append(radio)
+        assert [aindex.radio_at(row) for row in fan.rows] == expected
+        for k, row in enumerate(fan.rows):
+            rpos = aindex.radio_at(row).mobility.position_at(sim.now)
+            d2 = rpos.distance2_to(spos)
+            assert fan.deliverable[k] == (d2 <= r2)
+            dist = math.hypot(fan.dx[k], fan.dy[k])
+            assert struct.pack("<d", dist) == struct.pack("<d", rpos.distance_to(spos))
+
+
+@requires_numpy
+def test_teleport_repositions_and_rebins():
+    sim, medium, radios = _static_population(seed=7, n=4)
+    aindex = medium._aindex
+    before = aindex.candidates_within(Position(5000.0, 5000.0), 550.0, sim.now)
+    assert radios[2] not in before
+    radios[2].mobility.move_to(Position(5000.0, 5000.0))
+    after = aindex.candidates_within(Position(5000.0, 5000.0), 550.0, sim.now)
+    assert after == [radios[2]]
+    x, y = aindex.positions_at(sim.now)
+    assert (float(x[2]), float(y[2])) == (5000.0, 5000.0)
+
+
+@requires_numpy
+def test_gather_cache_hits_and_stats_keys():
+    sim, medium, radios = _static_population(seed=9, n=12)
+    aindex = medium._aindex
+    center = Position(750.0, 150.0)
+    first = aindex.candidates_within(center, 550.0, sim.now)
+    assert aindex.candidates_within(center, 550.0, sim.now) is first  # cache-owned
+    stats = medium.index_stats()
+    assert stats is not None
+    assert set(stats) == {"radios", "cells", "rebins", "refreshes", "cache_hits"}
+    assert stats["radios"] == 12 and stats["cache_hits"] >= 1
+
+
+@requires_numpy
+def test_mobile_rows_track_legs_without_teleports():
+    sim = Simulator()
+    medium = RadioMedium(sim, spatial_mode="array")
+    rng = random.Random(11)
+    region = Region(0.0, 0.0, 1500.0, 300.0)
+    radios = [
+        PhyRadio(
+            sim,
+            i,
+            medium,
+            RandomWaypointMobility(sim, region, random.Random(rng.random()),
+                                   pause_time=0.0, min_speed=5.0),
+        )
+        for i in range(10)
+    ]
+    sim.run(until=30.0)  # RWP legs re-roll forever; bound the run
+    aindex = medium._aindex
+    x, y = aindex.positions_at(sim.now)
+    for i, radio in enumerate(radios):
+        ref = radio.mobility.position_at(sim.now)
+        assert struct.pack("<dd", float(x[i]), float(y[i])) == struct.pack(
+            "<dd", ref.x, ref.y
+        )
+
+
+def test_invalid_spatial_mode_rejected():
+    with pytest.raises(ValueError):
+        RadioMedium(Simulator(), spatial_mode="quadtree")
+    with pytest.raises(ValueError):
+        ScenarioConfig(spatial_mode="quadtree")
+
+
+def test_brute_index_mode_forces_object_fallback():
+    medium = RadioMedium(Simulator(), index_mode="brute", spatial_mode="array")
+    assert medium.spatial_effective == "obj"
+
+
+# ------------------------------------------------------- scenario level
+def _config(seed: int, spatial: str, **overrides) -> ScenarioConfig:
+    base = dict(
+        protocol="agfw",
+        num_nodes=16,
+        sim_time=6.0,
+        traffic_start=(0.5, 1.5),
+        num_flows=5,
+        num_senders=4,
+        seed=seed,
+        static=False,
+        pause_time=0.0,
+        min_speed=5.0,
+        keep_trace=True,
+        spatial_mode=spatial,
+        pool_mode="off",
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _fingerprint(config: ScenarioConfig) -> list:
+    """Trace reduced to the in-process-stable fields (uids are module
+    counters, deliberately exempt — see DET-006)."""
+    scenario = Scenario(config)
+    result = scenario.run()
+    records = [(repr(r.time), r.category, r.node) for r in scenario.tracer.records]
+    assert records, "keep_trace scenario must retain records"
+    return [(result.sent, result.delivered, result.collisions)] + records
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_spatial_modes_trace_identically(seed):
+    prints = [_fingerprint(_config(seed, spatial)) for spatial in SPATIAL_MODES]
+    assert prints[0] == prints[1] == prints[2]
+    assert prints[0][0][0] > 0  # the workload actually sent traffic
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [6, 7, 8])
+def test_spatial_modes_trace_identically_under_faults(seed):
+    """Loss + churn exercise down-radio gaps, teleporting recoveries and
+    memo invalidation; the array path must still trace identically."""
+    plan = FaultPlan.churn(
+        range(16), sim_time=6.0, seed=seed, rate=1.0, mean_downtime=1.0
+    )
+    prints = [
+        _fingerprint(
+            _config(
+                seed,
+                spatial,
+                loss_model="bernoulli",
+                loss_rate=0.15,
+                fault_plan=plan,
+            )
+        )
+        for spatial in SPATIAL_MODES
+    ]
+    assert prints[0] == prints[1] == prints[2]
+
+
+@requires_numpy
+def test_jobs_pool_identical_across_spatial_modes():
+    """--jobs workers pickle configs into subprocesses; the array backend
+    must survive the trip and produce the exact same sweep points."""
+    points = {
+        spatial: run_fig1(
+            node_counts=(10, 14),
+            schemes=("agfw",),
+            sim_time=4.0,
+            seed=3,
+            jobs=2,
+            base=ScenarioConfig(spatial_mode=spatial, pool_mode="off"),
+        )
+        for spatial in ("obj", "array")
+    }
+    assert points["obj"] == points["array"]
+
+
+# --------------------------------------------------- committed benchmark
+def test_committed_hotpath_baseline_meets_speedup_floors():
+    """The committed benchmark snapshot must show the tentpole speedups:
+    >= 5x on the micro kernels, >= 1.3x end-to-end at 150 nodes."""
+    import json
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_hotpath.json"
+    document = json.loads(path.read_text())
+    assert document["schema_version"] == 1
+    assert document["suite"] == "hotpath"
+    derived = document["derived"]
+    assert derived["neighbor_gather_speedup"] >= 5.0
+    assert derived["batch_mobility_speedup"] >= 5.0
+    assert derived["scenario_hotpath_speedup"] >= 1.3

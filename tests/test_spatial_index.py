@@ -30,15 +30,22 @@ class _LinearMobility:
     def position_at(self, time: float) -> Position:
         return Position(self.start.x + self.vx * time, self.start.y + self.vy * time)
 
+    def subscribe(self, callback) -> None:
+        """Protocol no-op: continuous trajectory, nothing to notify."""
+
 
 class _OpaqueMobility:
-    """No speed bound, no teleport notification: the unknowable case."""
+    """No speed bound (no ``max_speed``): the unknowable case."""
 
     def __init__(self, position: Position) -> None:
         self._position = position
 
     def position_at(self, time: float) -> Position:
         return self._position
+
+    def subscribe(self, callback) -> None:
+        """Protocol no-op: this test mutates ``_position`` silently on
+        purpose, exercising the rebin-every-query fallback."""
 
 
 class _FakeRadio:
