@@ -1,0 +1,115 @@
+"""Sharded-execution benchmarks: the PR 8 tentpole priced end to end.
+
+Not a paper table — these price ``repro.sim.shard`` on its home turf:
+a clustered "community model" arena (``placement="clusters"`` with
+local traffic via ``flow_locality``) whose radio-silent corridors
+between communities are exactly what the conservative-window protocol
+exploits.  One benchmark family, two legs per size:
+
+* ``engine`` — the single-engine run, with the CPU seconds of
+  ``Scenario.run`` recorded in ``extra_info["cpu_seconds"]``.
+* ``shards4`` — the same scenario at ``shard_mode="on"``/4 shards, with
+  ``extra_info`` carrying the driver's ``critical_path_seconds`` (the
+  per-round maximum of worker CPU time — the run's wall-clock on a
+  machine with one core per shard) and ``busy_seconds_total``.
+
+``bench_to_json.py --suite shard`` derives
+``shard4_speedup_<n>_nodes = engine cpu_seconds / shards4
+critical_path_seconds`` at each size.  The acceptance floor —
+**>= 2x at 600 nodes** — is pinned against the committed
+``BENCH_shard.json`` by ``tests/test_shard_equivalence.py``.
+
+CPU time, not wall time, on both sides: the container this baseline
+ships from has a single core, so four forked workers time-slice it and
+every wall measurement of the sharded leg degenerates to the busy sum.
+``critical_path_seconds`` is the honest parallel number — each round
+costs its slowest shard — and the engine leg uses ``process_time`` so
+the ratio compares like with like.
+
+The scaling curve is deliberately not flattering everywhere: cluster
+counts are multiples of the shard count so partition borders fall in
+the empty corridors (the partition-friendly case sharding is *for*);
+at 150 nodes the per-round synchronization still eats most of the win,
+and the uniform paper arena — saturated, every fan-out atomic in one
+shard — stays below 1x at any size.  See DESIGN.md "Sharded execution".
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig, run_scenario
+
+#: Distance between community center lines.  At 400 m cluster half-width
+#: the corridors between communities dwarf every lookahead bound (ghost
+#: mirroring, exposure pads, the hop-chain ladder), so windows open to
+#: the conservative maximum.
+CLUSTER_PITCH = 70_000.0
+
+#: Communities per size — multiples of 4 so the 4-shard partition
+#: borders land between clusters, never through one (a border bisecting
+#: a community ghosts every frame it sends and collapses the window).
+NUM_CLUSTERS = {150: 4, 600: 8, 2000: 24}
+
+
+def _config(num_nodes: int, shard_mode: str = "off", shards: int = 1) -> ScenarioConfig:
+    clusters = NUM_CLUSTERS[num_nodes]
+    return ScenarioConfig(
+        protocol="agfw",
+        num_nodes=num_nodes,
+        width=CLUSTER_PITCH * clusters,
+        height=300.0,
+        sim_time=0.2,
+        seed=1,
+        num_flows=num_nodes,
+        num_senders=num_nodes,
+        rate_pps=20.0,
+        traffic_start=(0.02, 0.06),
+        placement="clusters",
+        num_clusters=clusters,
+        cluster_radius=400.0,
+        flow_locality=900.0,
+        shard_mode=shard_mode,
+        shards=shards,
+    )
+
+
+@pytest.mark.benchmark(group="shard")
+@pytest.mark.parametrize("num_nodes", [150, 600, 2000])
+@pytest.mark.parametrize("mode", ["engine", "shards4"])
+def test_shard_scenario(benchmark, mode, num_nodes):
+    if mode == "engine":
+        cpus: list[float] = []
+
+        def setup():
+            return (Scenario(_config(num_nodes)),), {}
+
+        def run(scenario):
+            started = time.process_time()
+            result = scenario.run()
+            cpus.append(time.process_time() - started)
+            return result
+
+        result = benchmark.pedantic(run, setup=setup, rounds=2)
+        benchmark.extra_info["cpu_seconds"] = round(min(cpus), 6)
+    else:
+        stats: list[dict] = []
+
+        def run4():
+            result = run_scenario(_config(num_nodes, shard_mode="on", shards=4))
+            stats.append(result.shard_stats)
+            return result
+
+        result = benchmark.pedantic(run4, rounds=2)
+        best = min(stats, key=lambda s: s["critical_path_seconds"])
+        benchmark.extra_info["critical_path_seconds"] = round(
+            best["critical_path_seconds"], 6
+        )
+        benchmark.extra_info["busy_seconds_total"] = round(
+            best["busy_seconds_total"], 6
+        )
+        benchmark.extra_info["sync_rounds"] = best["rounds"]
+        benchmark.extra_info["shards"] = best["shards"]
+    assert result.delivered > 0

@@ -20,13 +20,24 @@ Output schema (``schema_version`` 1)::
 
     {
       "schema_version": 1,
-      "suite": "substrate" | "crypto" | "engine" | "faults" | "analysis",
-      "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...}},
-      "derived": {"<metric>": <numerator mean / denominator mean>}
+      "suite": "substrate" | "crypto" | ... | "shard",
+      "benchmarks": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": ...,
+                                "extra_info": {...}}},   # only when recorded
+      "derived": {"<metric>": <numerator / denominator>}
     }
+
+A derived metric's numerator/denominator is a benchmark's mean by
+default; a ``["<name>", "<key>"]`` spec reads ``extra_info["<key>"]``
+instead (the shard suite derives its speedups from CPU-time
+measurements the benchmarks record, not from wall-clock means).
 
 Absolute means are hardware-dependent; the *ratios* (the derived
 speedups and the regression comparison) are what the numbers are for.
+
+``--suite all`` runs nothing: it folds every committed
+``BENCH_<suite>.json`` into one flat document (names and derived
+metrics prefixed ``<suite>:``) so the whole perf history can be
+tracked — and regression-compared — as a single file.
 
 Suites:
 
@@ -52,6 +63,10 @@ Suites:
   mobility micro-kernels (object/scalar vs numpy-batched; acceptance
   floor 5x each) and a 150-node end-to-end scenario with the fast
   stack off vs on (floor 1.3x).
+* ``shard`` — sharded execution (PR 8): clustered community scenarios
+  at 150/600/2000 nodes, single engine vs 4 column shards; derived
+  ``shard4_speedup_<n>_nodes`` = engine CPU seconds over the sharded
+  run's critical path (acceptance floor at 600 nodes: 2x).
 """
 
 from __future__ import annotations
@@ -143,6 +158,23 @@ SUITES: dict[str, dict] = {
             ),
         },
     },
+    "shard": {
+        "file": "bench_shard.py",
+        "derived": {
+            "shard4_speedup_150_nodes": (
+                ("test_shard_scenario[engine-150]", "cpu_seconds"),
+                ("test_shard_scenario[shards4-150]", "critical_path_seconds"),
+            ),
+            "shard4_speedup_600_nodes": (
+                ("test_shard_scenario[engine-600]", "cpu_seconds"),
+                ("test_shard_scenario[shards4-600]", "critical_path_seconds"),
+            ),
+            "shard4_speedup_2000_nodes": (
+                ("test_shard_scenario[engine-2000]", "cpu_seconds"),
+                ("test_shard_scenario[shards4-2000]", "critical_path_seconds"),
+            ),
+        },
+    },
     "engine": {
         "file": "bench_engine.py",
         "derived": {
@@ -184,27 +216,86 @@ def run_suite(pytest_args: list[str] | None = None, suite: str = "substrate") ->
         return json.loads(raw_path.read_text(encoding="utf-8"))
 
 
+def _metric_value(benchmarks: dict, spec) -> float | None:
+    """Resolve one side of a derived ratio.
+
+    A plain benchmark name reads that benchmark's mean; a
+    ``(name, key)`` pair reads ``extra_info[key]`` — for suites whose
+    meaningful number is a measurement the benchmark records rather
+    than the wall-clock mean (the shard suite's CPU times).
+    """
+    if isinstance(spec, (list, tuple)):
+        name, key = spec
+        entry = benchmarks.get(name)
+        return entry.get("extra_info", {}).get(key) if entry else None
+    entry = benchmarks.get(spec)
+    return entry["mean_s"] if entry else None
+
+
 def distill(raw: dict, suite: str = "substrate") -> dict:
     """Reduce pytest-benchmark's document to the committed schema."""
     benchmarks: dict[str, dict] = {}
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        benchmarks[bench["name"]] = {
+        entry = {
             "mean_s": round(stats["mean"], 9),
             "stddev_s": round(stats["stddev"], 9),
             "rounds": stats["rounds"],
         }
+        info = bench.get("extra_info") or {}
+        if info:
+            entry["extra_info"] = {
+                key: round(value, 9) if isinstance(value, float) else value
+                for key, value in sorted(info.items())
+            }
+        benchmarks[bench["name"]] = entry
     derived: dict[str, float] = {}
     for metric, (numerator, denominator) in SUITES[suite]["derived"].items():
-        num = benchmarks.get(numerator)
-        den = benchmarks.get(denominator)
-        if num and den and den["mean_s"] > 0:
-            derived[metric] = round(num["mean_s"] / den["mean_s"], 3)
+        num = _metric_value(benchmarks, numerator)
+        den = _metric_value(benchmarks, denominator)
+        if num is not None and den is not None and den > 0:
+            derived[metric] = round(num / den, 3)
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": suite,
         "benchmarks": dict(sorted(benchmarks.items())),
         "derived": derived,
+    }
+
+
+def aggregate(bench_dir: pathlib.Path) -> dict:
+    """Fold every committed ``BENCH_<suite>.json`` into one document.
+
+    Benchmark names and derived metrics are prefixed ``<suite>:`` so
+    the result is schema-compatible with a single-suite document — the
+    same :func:`compare` gate tracks the whole perf history at once.
+    """
+    benchmarks: dict[str, dict] = {}
+    derived: dict[str, float] = {}
+    found = []
+    for suite in sorted(SUITES):
+        path = bench_dir / f"BENCH_{suite}.json"
+        if not path.exists():
+            continue
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("schema_version") != SCHEMA_VERSION:
+            raise SystemExit(
+                f"{path.name}: schema_version "
+                f"{document.get('schema_version')!r} != {SCHEMA_VERSION}"
+            )
+        found.append(suite)
+        for name, entry in document.get("benchmarks", {}).items():
+            benchmarks[f"{suite}:{name}"] = entry
+        for metric, value in document.get("derived", {}).items():
+            derived[f"{suite}:{metric}"] = value
+    if not found:
+        raise SystemExit(f"no BENCH_*.json baselines under {bench_dir}")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "all",
+        "suites": found,
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "derived": dict(sorted(derived.items())),
     }
 
 
@@ -245,8 +336,10 @@ def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=sorted(SUITES), default="substrate",
-        help="which benchmark suite to run/distill (default: substrate)",
+        "--suite", choices=sorted(SUITES) + ["all"], default="substrate",
+        help="which benchmark suite to run/distill (default: substrate); "
+        "'all' runs nothing and folds the committed BENCH_*.json "
+        "baselines into one combined document",
     )
     parser.add_argument(
         "--output", type=pathlib.Path, default=None,
@@ -266,12 +359,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    raw = (
-        json.loads(args.from_raw.read_text(encoding="utf-8"))
-        if args.from_raw is not None
-        else run_suite(suite=args.suite)
-    )
-    document = distill(raw, args.suite)
+    if args.suite == "all":
+        if args.from_raw is not None:
+            raise SystemExit("--from-raw does not apply to --suite all")
+        document = aggregate(BENCH_DIR)
+    else:
+        raw = (
+            json.loads(args.from_raw.read_text(encoding="utf-8"))
+            if args.from_raw is not None
+            else run_suite(suite=args.suite)
+        )
+        document = distill(raw, args.suite)
     text = json.dumps(document, indent=2, sort_keys=False) + "\n"
     if args.output is not None:
         args.output.write_text(text, encoding="utf-8")

@@ -49,6 +49,12 @@ DET-013     numpy determinism escapes in the vectorized hot core:
             (quicksort tie order is value-address dependent), and
             ``np.unique(..., return_index=True)`` (first-occurrence
             indices among equal keys inherit the unstable sort)
+DET-014     nondeterministic multiprocessing patterns under the sharded
+            engine: unordered iteration over shard/queue-shaped dicts
+            inside scheduler-feeding functions, per-process identity
+            (``os.getpid()``) or wall timers leaking into simulation
+            state, and iteration over sets that crossed a pickle
+            boundary (worker pipes, queues)
 ==========  ===========================================================
 
 DET-009 only fires when the engine runs interprocedurally (it needs the
@@ -58,7 +64,8 @@ call graph); the others are per-module and fire in both modes.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set, Tuple
+import re
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.core import Finding, ModuleContext, ProjectContext, Rule, register
 
@@ -76,6 +83,7 @@ __all__ = [
     "ModuleLevelMutableState",
     "UnsortedFilesystemEnumeration",
     "NumpyDeterminismEscape",
+    "MultiprocessingOrderEscape",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -833,6 +841,12 @@ class AddressDependentValue(Rule):
     )
     exempt_paths = (
         "analysis/*",  # id(node) as AST-lifetime dict identity keys only
+        # KeyCodec memoizes canonical key nodes by identity (the nodes are
+        # pinned for the codec's lifetime); ids never cross the pipe, reach
+        # trace output, or order anything — the wire format carries table
+        # indices only, and cross-process equivalence is proven by the
+        # shard_mode="cross" suite.
+        "sim/shard/keycodec.py",
         "tests/*",
         "test_*.py",
         "conftest.py",
@@ -1149,3 +1163,307 @@ class NumpyDeterminismEscape(Rule):
             if keyword.arg == arg and isinstance(keyword.value, ast.Constant):
                 return keyword.value.value is True
         return False
+
+
+#: Names whose dicts look like per-process shard plumbing.
+_SHARD_DICT_HINT = re.compile(
+    r"shard|worker|queue|pending|inbox|mailbox|ghost|conn", re.IGNORECASE
+)
+
+#: Terminal call names that feed the event scheduler (or an ordered
+#: merge of per-shard streams) from a loop body.
+_SCHEDULER_SINKS = frozenset(
+    {"schedule", "schedule_at", "call_later", "emit", "heappush", "heapreplace", "merge"}
+)
+
+#: ``time`` module functions whose values are per-process wall readings.
+_WALL_TIMERS = frozenset(
+    {
+        "perf_counter", "monotonic", "process_time", "thread_time",
+        "perf_counter_ns", "monotonic_ns", "process_time_ns", "thread_time_ns",
+        "time", "time_ns",
+    }
+)
+
+#: Per-process identity calls — different in every shard worker.
+_PROCESS_IDENTITY = {
+    ("os", "getpid"): "os.getpid()",
+    ("os", "getppid"): "os.getppid()",
+    ("multiprocessing", "current_process"): "multiprocessing.current_process()",
+    ("threading", "get_ident"): "threading.get_ident()",
+}
+
+#: Receiver-side attribute calls that mark a value as having crossed a
+#: pickle boundary (worker pipes / queues).
+_PICKLE_RECV_ATTRS = frozenset({"recv", "recv_bytes", "get", "get_nowait"})
+
+#: Object-name shapes we trust to be pipe/queue endpoints for ``.get``
+#: (plain ``.recv`` is distinctive enough on its own).
+_ENDPOINT_HINT = re.compile(r"conn|pipe|queue|sock|chan", re.IGNORECASE)
+
+
+def _symbol_key(target: ast.AST) -> Optional[str]:
+    """``name`` for locals, ``self.attr``-style dotted keys for attributes."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+        return f"{target.value.id}.{target.attr}"
+    return None
+
+
+def _is_dict_annotation(annotation: ast.AST) -> bool:
+    base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    return _terminal_identifier(base) in {
+        "dict", "Dict", "Mapping", "MutableMapping", "OrderedDict",
+        "defaultdict", "DefaultDict",
+    }
+
+
+def _is_dict_value(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return _terminal_identifier(value.func) in {"dict", "defaultdict", "OrderedDict"}
+    return False
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    return _terminal_identifier(base) in {
+        "set", "Set", "frozenset", "FrozenSet", "MutableSet",
+    }
+
+
+def _function_scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(scope, nodes)`` with nested function bodies excluded.
+
+    Each loop/call is attributed to its *nearest* enclosing function (or
+    the module itself), so a sink in an outer function never licenses a
+    finding inside a nested helper and vice versa.
+    """
+
+    def shallow_walk(root: ast.AST) -> List[ast.AST]:
+        out: List[ast.AST] = []
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    yield tree, shallow_walk(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, shallow_walk(node)
+
+
+@register
+class MultiprocessingOrderEscape(Rule):
+    """DET-014: nondeterminism sneaking in through the shard boundary.
+
+    The sharded engine (:mod:`repro.sim.shard`) moves simulation state
+    across process boundaries; three patterns silently break the
+    byte-identical guarantee there:
+
+    * **shard/queue dict iteration feeding the scheduler** — a dict
+      populated per-process (ghost buffers, per-shard queues, worker
+      connection maps) preserves *its own* insertion order, which is
+      message-arrival order, not simulation order.  A loop over such a
+      dict that reaches ``schedule``/``emit``/``heappush``/``merge``
+      replays arrival order into the event queue — iterate
+      ``sorted(...)`` by a deterministic key instead;
+    * **per-process identity / wall timers as state** — ``os.getpid()``
+      et al. differ in every worker, and wall timers
+      (``time.monotonic``...) differ between any two runs; either one
+      assigned onto an object attribute (or passed to a scheduling
+      call) forks shard state the single engine never sees.  Local
+      wallclock measurement (``t0 = time.perf_counter()``) stays legal:
+      measuring a run is fine, feeding the measurement back in is not;
+    * **unpickled-set iteration** — a set rehydrated by ``pickle`` on
+      the far side of a worker pipe is re-inserted element-by-element
+      into a fresh table under the *receiving* process's hash seed, so
+      its iteration order need not match the sender's — sort on
+      receipt.
+    """
+
+    id = "DET-014"
+    name = "multiprocessing-order-escape"
+    rationale = (
+        "Per-process insertion order, process identity, wall timers, and "
+        "rehydrated-set layout all differ between shard workers; any of "
+        "them reaching the scheduler desynchronizes shards from the "
+        "single-engine trace."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py")
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        shardish_dicts = self._shardish_dict_symbols(module.tree)
+        unpickled = self._unpickled_symbols(module)
+        set_typed: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AnnAssign) and _is_set_annotation(node.annotation):
+                key = _symbol_key(node.target)
+                if key is not None:
+                    set_typed.add(key)
+
+        for _scope, nodes in _function_scopes(module.tree):
+            has_sink = any(
+                isinstance(n, ast.Call)
+                and _terminal_identifier(n.func) in _SCHEDULER_SINKS
+                for n in nodes
+            )
+            for n in nodes:
+                iters: List[ast.AST] = []
+                if isinstance(n, ast.For):
+                    iters.append(n.iter)
+                elif isinstance(n, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(comp.iter for comp in n.generators)
+                for it in iters:
+                    if has_sink and self._is_shardish_dict_iter(it, shardish_dicts):
+                        yield self.finding(
+                            module,
+                            it,
+                            f"iteration over dict '{self._iter_label(it)}' feeds "
+                            "the scheduler in per-process insertion (message-"
+                            "arrival) order; iterate sorted(...) by a "
+                            "deterministic key",
+                        )
+                    if self._is_unpickled_set_iter(it, module, unpickled, set_typed):
+                        yield self.finding(
+                            module,
+                            it,
+                            "iterating a set that crossed a pickle boundary: "
+                            "the receiving process rehydrates it under its own "
+                            "hash seed, so order need not match the sender's — "
+                            "sort on receipt",
+                        )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = _resolve_call_target(module, node.func)
+                label = _PROCESS_IDENTITY.get(target) if target else None
+                if label is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{label} is per-process identity — it differs in "
+                        "every shard worker; derive identity from the shard "
+                        "index in the config instead",
+                    )
+            elif isinstance(node, ast.Assign) and self._is_wall_timer(module, node.value):
+                if any(isinstance(t, ast.Attribute) for t in node.targets):
+                    yield self.finding(
+                        module,
+                        node,
+                        "wall-timer reading assigned onto object state: the "
+                        "value differs per process/run and leaks into the "
+                        "simulation; keep timers in locals and report them as "
+                        "measurements only",
+                    )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_identifier(node.func) not in _SCHEDULER_SINKS:
+                continue
+            for arg in node.args:
+                if self._is_wall_timer(module, arg):
+                    yield self.finding(
+                        module,
+                        node,
+                        "wall-timer reading passed to a scheduling call; "
+                        "event times must come from sim.now, never the host "
+                        "clock",
+                    )
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _shardish_dict_symbols(tree: ast.Module) -> Set[str]:
+        symbols: Set[str] = set()
+        for node in ast.walk(tree):
+            targets: Tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.AnnAssign) and _is_dict_annotation(node.annotation):
+                targets = (node.target,)
+            elif isinstance(node, ast.Assign) and _is_dict_value(node.value):
+                targets = tuple(node.targets)
+            for target in targets:
+                key = _symbol_key(target)
+                if key is not None and _SHARD_DICT_HINT.search(key):
+                    symbols.add(key)
+        return symbols
+
+    @staticmethod
+    def _iter_label(it: ast.AST) -> str:
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Attribute):
+            it = it.func.value
+        return _symbol_key(it) or "<dict>"
+
+    @staticmethod
+    def _is_shardish_dict_iter(it: ast.AST, symbols: Set[str]) -> bool:
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Attribute):
+            if it.func.attr in {"values", "items", "keys"}:
+                it = it.func.value
+            else:
+                return False
+        key = _symbol_key(it)
+        return key is not None and key in symbols
+
+    def _unpickled_symbols(self, module: ModuleContext) -> Set[str]:
+        symbols: Set[str] = set()
+        for node in ast.walk(module.tree):
+            value: Optional[ast.AST] = None
+            targets: Tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.Assign):
+                targets, value = tuple(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = (node.target,), node.value
+            if value is None or not self._is_pickle_boundary(module, value):
+                continue
+            for target in targets:
+                key = _symbol_key(target)
+                if key is not None:
+                    symbols.add(key)
+        return symbols
+
+    @staticmethod
+    def _is_pickle_boundary(module: ModuleContext, value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        target = _resolve_call_target(module, value.func)
+        if target == ("pickle", "loads"):
+            return True
+        if isinstance(value.func, ast.Attribute):
+            attr = value.func.attr
+            if attr in {"recv", "recv_bytes"}:
+                return True
+            if attr in {"get", "get_nowait"}:
+                base = _symbol_key(value.func.value)
+                return bool(base and _ENDPOINT_HINT.search(base))
+        return False
+
+    def _is_unpickled_set_iter(
+        self,
+        it: ast.AST,
+        module: ModuleContext,
+        unpickled: Set[str],
+        set_typed: Set[str],
+    ) -> bool:
+        # ``for x in set(conn.recv()):`` — rebuilt set, rehydrated members.
+        if (
+            isinstance(it, ast.Call)
+            and _terminal_identifier(it.func) in {"set", "frozenset"}
+            and it.args
+            and self._is_pickle_boundary(module, it.args[0])
+        ):
+            return True
+        key = _symbol_key(it)
+        return key is not None and key in unpickled and key in set_typed
+
+    @staticmethod
+    def _is_wall_timer(module: ModuleContext, value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        target = _resolve_call_target(module, value.func)
+        return target is not None and target[0] == "time" and target[1] in _WALL_TIMERS

@@ -40,6 +40,7 @@ from repro.net.addresses import BROADCAST
 from repro.net.mac.frames import MacFrame
 from repro.net.packet import Packet
 from repro.routing.base import BaseRouter
+from repro.sim.engine import PURE_ACTOR
 
 __all__ = ["AntHello", "AgfwData", "AgfwAck", "AgfwRouter"]
 
@@ -179,7 +180,12 @@ class AgfwRouter(BaseRouter):
 
     def _purge_tick(self) -> None:
         self.ant.purge(self.sim.now)
-        self.sim.schedule(self.config.beacon_interval, self._purge_tick, name="agfw.purge")
+        # PURE: ANT expiry drops table entries and can never lead to a
+        # transmission, so the sharded promise scan skips the tick chain.
+        self.sim.schedule(
+            self.config.beacon_interval, self._purge_tick, name="agfw.purge",
+            actor=PURE_ACTOR,
+        )
 
     # ------------------------------------------------------ lifecycle faults
     def on_fault_down(self) -> None:

@@ -155,7 +155,12 @@ def run_faults_sweep(
                     ),
                 )
             )
-    return parallel_map(_run_fault_point, items, jobs=jobs)
+    return parallel_map(
+        _run_fault_point,
+        items,
+        jobs=jobs,
+        shards=template.shards if template.shard_mode == "on" else 1,
+    )
 
 
 def _series(points: Sequence[FaultPoint]) -> Dict[Tuple[str, str], Dict[str, FaultPoint]]:

@@ -119,7 +119,12 @@ def run_fig1(
                 )
                 cfg = replace(cfg, fault_plan=plan)
             configs.append(cfg)
-    return parallel_map(_run_fig1_point, configs, jobs=jobs)
+    return parallel_map(
+        _run_fig1_point,
+        configs,
+        jobs=jobs,
+        shards=template.shards if template.shard_mode == "on" else 1,
+    )
 
 
 def _series(points: Iterable[Fig1Point]) -> Dict[str, Dict[int, Fig1Point]]:

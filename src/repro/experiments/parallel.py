@@ -28,6 +28,8 @@ from __future__ import annotations
 import multiprocessing
 from typing import Callable, List, Sequence, TypeVar
 
+from repro.sim.shard.driver import effective_jobs
+
 __all__ = ["parallel_map"]
 
 T = TypeVar("T")
@@ -42,16 +44,29 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("spawn")
 
 
-def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1) -> List[R]:
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: int = 1, shards: int = 1
+) -> List[R]:
     """``[fn(x) for x in items]``, fanned over ``jobs`` processes.
 
     Results come back in submission order regardless of which worker
     finished first (``pool.map`` collects by index), so callers may rely
     on byte-identical downstream formatting for any ``jobs`` value.
     ``jobs <= 1`` (or fewer than two items) runs inline in this process.
+
+    ``shards`` declares how many worker processes each *point* spawns on
+    its own (``shard_mode="on"`` runs).  The pool is clamped so the
+    grand total ``pool x shards`` never exceeds ``os.cpu_count()``;
+    precedence is documented on
+    :func:`repro.sim.shard.driver.effective_jobs` (the per-run shard
+    count always wins, the sweep pool gives way).  Clamping only changes
+    the degree of parallelism, never results: points are order-preserved
+    and independent for any pool size.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if shards > 1:
+        jobs = effective_jobs(jobs, shards)
     items = list(items)
     if jobs == 1 or len(items) < 2:
         return [fn(item) for item in items]

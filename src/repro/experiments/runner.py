@@ -33,6 +33,8 @@ from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.security import format_exposure, run_exposure_experiment
 from repro.net.medium import SPATIAL_MODES
 from repro.net.pool import POOL_MODES
+from repro.sim.shard import SHARD_MODES
+from repro.sim.shard.driver import effective_jobs
 from repro.sim.timerwheel import SCHEDULER_MODES
 
 __all__ = ["main"]
@@ -74,6 +76,23 @@ def main(argv: list[str] | None = None) -> int:
         help="frame/reception pooling: on (recycle, default), off "
         "(per-transmission allocation), or cross (recycle + scrub "
         "verification); output is byte-identical for any value",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=SHARD_MODES,
+        default="off",
+        help="sharded execution: off (single engine, default), on "
+        "(column shards in worker processes), or cross (sharded + "
+        "single engine side by side, asserting byte-identical traces); "
+        "output is byte-identical for any value",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="column shards per run when --shard-mode is not off; the "
+        "--jobs pool is clamped so jobs x shards never exceeds the "
+        "machine (shards win — a sharded run is one coherent unit)",
     )
     parser.add_argument(
         "--profile",
@@ -132,6 +151,15 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--fault-churn takes RATE [MEAN_DOWNTIME]")
         churn = (args.fault_churn[0], args.fault_churn[1] if len(args.fault_churn) == 2 else None)
 
+    if args.shard_mode != "off":
+        capped = effective_jobs(args.jobs, args.shards)
+        if capped != args.jobs:
+            print(
+                f"[jobs] clamped --jobs {args.jobs} -> {capped} so "
+                f"{args.shards} shards per run never oversubscribe the machine"
+            )
+        args.jobs = capped
+
     sim_time = args.sim_time if args.sim_time is not None else (900.0 if args.full else 20.0)
     counts = tuple(args.nodes) if args.nodes else (
         DEFAULT_NODE_COUNTS if args.full else (50, 100, 112, 150)
@@ -177,6 +205,8 @@ def _run_experiments(args, sim_time: float, counts: tuple, churn) -> None:
                 scheduler_mode=args.scheduler,
                 spatial_mode=args.spatial,
                 pool_mode=args.pool,
+                shard_mode=args.shard_mode,
+                shards=args.shards,
                 loss_model=args.loss_model,
                 loss_rate=args.loss_rate,
             ),
@@ -217,6 +247,8 @@ def _run_experiments(args, sim_time: float, counts: tuple, churn) -> None:
                 scheduler_mode=args.scheduler,
                 spatial_mode=args.spatial,
                 pool_mode=args.pool,
+                shard_mode=args.shard_mode,
+                shards=args.shards,
             ),
         )
         print(format_faults_sweep(fault_points))

@@ -28,6 +28,7 @@ from repro.crypto.certificates import CertificateAuthority
 from repro.faults.loss import make_loss_process, validate_loss_model
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.geo.region import Region
+from repro.geo.vec import Position
 from repro.location.service import OracleLocationService
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
 from repro.metrics.faults import FaultMetrics
@@ -39,6 +40,7 @@ from repro.net.node import Node
 from repro.routing.base import RouterStats
 from repro.routing.gpsr import GpsrConfig, GpsrRouter
 from repro.sim.engine import Simulator
+from repro.sim.shard import validate_shard_mode
 from repro.sim.timerwheel import validate_scheduler_mode
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -82,12 +84,31 @@ class ScenarioConfig:
     # pre-pool allocation path), or "cross" (recycle + scrub/verify every
     # object across the free boundary).  See repro.net.pool.
     pool_mode: str = "on"
+    # Sharded execution: "off" (single engine, default), "on" (column
+    # shards, one engine per shard in a worker process, conservative
+    # window synchronization), or "cross" (sharded inline + single engine
+    # side by side, raising ShardCoherenceError on the first trace
+    # divergence).  See repro.sim.shard.
+    shard_mode: str = "off"
+    # Number of column shards when shard_mode != "off".
+    shards: int = 2
 
     # Mobility (paper defaults); static=True pins nodes for debugging.
     min_speed: float = 1.0
     max_speed: float = 20.0
     pause_time: float = 60.0
     static: bool = False
+
+    # Placement: "uniform" (paper default — any node anywhere in the
+    # field) or "clusters" (node_id % num_clusters picks one of
+    # num_clusters equally spaced vertical bands; the node starts — and
+    # keeps all its waypoints — within cluster_radius of that band's
+    # center line).  The community model for sharded-execution studies:
+    # clusters much narrower than their pitch leave radio-silent border
+    # corridors between shard columns.
+    placement: str = "uniform"
+    num_clusters: int = 8
+    cluster_radius: float = 400.0
 
     # Workload (paper defaults).
     num_flows: int = 30
@@ -96,6 +117,11 @@ class ScenarioConfig:
     payload_bytes: int = 128  # paper leaves CBR size unstated; 128 B puts the
     # channel in the contention regime where Figure 1's density effects live
     traffic_start: tuple[float, float] = (5.0, 30.0)
+    # When set, each flow's destination is drawn uniformly among nodes
+    # whose *initial* position is within this many meters of the
+    # sender's, instead of uniformly over the whole field.  None keeps
+    # the paper's draw (and its exact rng call sequence).
+    flow_locality: Optional[float] = None
 
     # Location service: Figure 1 uses the oracle (the paper "did not
     # incorporate ALS so as to focus on the major routing part").
@@ -121,6 +147,10 @@ class ScenarioConfig:
     # A FaultPlan of crash/recover/pause/churn events (picklable, so it
     # ships through --jobs pools); None = no lifecycle faults.
     fault_plan: Optional[FaultPlan] = None
+    # Scripted teleports: (time, node_id, x, y) tuples applied as normal
+    # simulation events (deterministic, replicated in sharded runs).
+    # Requires static=True — waypoint mobility owns its own trajectory.
+    teleports: tuple = ()
 
     # Instrumentation.
     keep_trace: bool = False
@@ -142,6 +172,35 @@ class ScenarioConfig:
             raise ValueError(
                 "loss_rate / loss_params require a loss_model other than 'none'"
             )
+        if self.placement not in ("uniform", "clusters"):
+            raise ValueError("placement must be 'uniform' or 'clusters'")
+        if self.placement == "clusters":
+            if self.num_clusters < 1:
+                raise ValueError("num_clusters must be >= 1")
+            if self.cluster_radius <= 0:
+                raise ValueError("cluster_radius must be positive")
+        if self.flow_locality is not None and self.flow_locality <= 0:
+            raise ValueError("flow_locality must be positive")
+        validate_shard_mode(self.shard_mode)
+        if self.teleports:
+            if not self.static:
+                raise ValueError(
+                    "teleports require static=True (waypoint mobility owns "
+                    "its own trajectory)"
+                )
+            for entry in self.teleports:
+                t, node_id, _x, _y = entry
+                if t < 0:
+                    raise ValueError(f"teleport time must be >= 0: {entry}")
+                if not (0 <= node_id < self.num_nodes):
+                    raise ValueError(f"teleport targets unknown node: {entry}")
+        if self.shard_mode != "off":
+            if self.shards < 1:
+                raise ValueError("shards must be >= 1")
+            if self.with_sniffer:
+                # The sniffer subscribes to one process's tracer; a merged
+                # multi-engine trace has no single live stream to tap.
+                raise ValueError("with_sniffer is incompatible with shard_mode != 'off'")
 
 
 @dataclass
@@ -191,9 +250,11 @@ class ScenarioResult:
 class Scenario:
     """A fully wired simulation, ready to run."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(self, config: ScenarioConfig, sim: Optional[Simulator] = None) -> None:
         self.config = config
-        self.sim = Simulator(scheduler_mode=config.scheduler_mode)
+        # Shard workers inject a KeyedSimulator; the default path builds
+        # the plain engine exactly as before.
+        self.sim = sim if sim is not None else Simulator(scheduler_mode=config.scheduler_mode)
         self.tracer = Tracer(keep=config.keep_trace)
         self.delivery = DeliveryCollector(self.tracer)
         self.overhead = OverheadCollector(self.tracer)
@@ -220,17 +281,34 @@ class Scenario:
         self._build()
 
     # ------------------------------------------------------------- building
+    def _node_region(self, node_id: int) -> Region:
+        """The region a node lives in: the whole field, or its cluster band."""
+        cfg = self.config
+        if cfg.placement != "clusters":
+            return self.region
+        pitch = cfg.width / cfg.num_clusters
+        cx = (node_id % cfg.num_clusters + 0.5) * pitch
+        return Region(
+            max(0.0, cx - cfg.cluster_radius),
+            0.0,
+            min(cfg.width, cx + cfg.cluster_radius),
+            cfg.height,
+        )
+
     def _build(self) -> None:
         cfg = self.config
         placement_rng = self.rngs.stream("placement")
+        starts: List[Position] = []
         for node_id in range(cfg.num_nodes):
-            start = self.region.random_position(placement_rng)
+            home = self._node_region(node_id)
+            start = home.random_position(placement_rng)
+            starts.append(start)
             if cfg.static:
                 mobility = StaticMobility(start)
             else:
                 mobility = RandomWaypointMobility(
                     self.sim,
-                    self.region,
+                    home,
                     self.rngs.fork(f"mob:{node_id}").stream("rwp"),
                     start=start,
                     min_speed=cfg.min_speed,
@@ -240,6 +318,23 @@ class Scenario:
             node = Node(self.sim, node_id, self.medium, mobility, self.rngs, self.tracer)
             self.nodes.append(node)
         self.oracle.register_all(self.nodes)
+
+        # Scripted teleports run as ordinary simulation events in
+        # canonical (time, node_id) order, so sequence numbers — and the
+        # sharded engines' causal keys — are a pure function of the
+        # config.  StaticMobility.move_to notifies subscribers (radio
+        # position, spatial index, fan-out memo) exactly like any other
+        # position change.
+        for tp_time, tp_node, tp_x, tp_y in sorted(cfg.teleports):
+            node = self.nodes[tp_node]
+
+            def _teleport(n=node, x=tp_x, y=tp_y, at=tp_time) -> None:
+                n.mobility.move_to(Position(x, y))
+                self.tracer.emit(at, "mob.teleport", node=n.node_id)
+
+            self.sim.schedule_at(
+                tp_time, _teleport, name="mob.teleport", actor=tp_node
+            )
 
         # Channel impairment: one loss process per receiver, each on its
         # own per-purpose derived stream, so loss draws at one node never
@@ -287,6 +382,8 @@ class Scenario:
             payload_bytes=cfg.payload_bytes,
             start_window=start_window,
             stop_time=cfg.sim_time,
+            positions=[(p.x, p.y) for p in starts],
+            locality=cfg.flow_locality,
         )
         by_id = {n.node_id: n for n in self.nodes}
         for flow in flows:
@@ -338,6 +435,17 @@ class Scenario:
 
     # -------------------------------------------------------------- running
     def run(self) -> ScenarioResult:
+        if self.config.shard_mode != "off":
+            # Lazy import: the driver imports this module back (workers
+            # rebuild the scenario from the config), so binding it at
+            # module import time would be circular.
+            from repro.sim.shard.driver import run_sharded
+
+            return run_sharded(self.config)
+        return self._run_single()
+
+    def _run_single(self) -> ScenarioResult:
+        """The single-engine run loop (the exact seed path)."""
         started = _wall.perf_counter()
         for node in self.nodes:
             node.start()

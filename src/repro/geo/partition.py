@@ -1,0 +1,104 @@
+"""Column partitions of the arena for sharded simulation.
+
+The sharded runtime (:mod:`repro.sim.shard`) splits the arena into
+vertical columns — one shard per column.  Radio interference is
+range-bounded, so a transmission in one column can only matter to a
+neighbouring shard when its interference disc overlaps that shard's
+nodes; the partition therefore also computes the **interest intervals**
+(x-ranges, padded by interference range plus a mobility-drift cushion)
+that decide which transmissions must be mirrored across a border and
+which owned nodes are *exposed* (close enough to foreign nodes that
+their transmissions might need mirroring at all).
+
+Ownership is **static**: a node belongs to the column containing its
+position at t=0 for the whole run.  Mobility is free to carry a node
+into another shard's column — spatial responsibility is dynamic and
+handled by the interest intervals, which track the actual owned-node
+extents of every shard (refreshed with a drift cushion) rather than the
+column geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ColumnPartition", "Interval"]
+
+#: An inclusive x-range; ``None`` marks an empty interval (no nodes).
+Interval = Optional[Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class ColumnPartition:
+    """``shards`` equal-width vertical columns over ``[x0, x0 + width]``."""
+
+    x0: float
+    width: float
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+
+    @property
+    def column_width(self) -> float:
+        return self.width / self.shards
+
+    def column_of(self, x: float) -> int:
+        """Shard index owning position ``x`` (clamped at the arena edges)."""
+        idx = int((x - self.x0) / self.column_width)
+        if idx < 0:
+            return 0
+        if idx >= self.shards:
+            return self.shards - 1
+        return idx
+
+    def column_bounds(self, index: int) -> Tuple[float, float]:
+        """``[lo, hi)`` x-range of column ``index``."""
+        lo = self.x0 + index * self.column_width
+        return (lo, lo + self.column_width)
+
+    def assign(self, xs: Sequence[float]) -> List[int]:
+        """Owner shard per node, by position at build time."""
+        return [self.column_of(x) for x in xs]
+
+    # --------------------------------------------------------------- intervals
+    @staticmethod
+    def interest_intervals(
+        owner_of: Sequence[int],
+        xs: Sequence[float],
+        shards: int,
+        pad: float,
+    ) -> Dict[int, Interval]:
+        """Padded x-extent of each shard's owned nodes.
+
+        A transmission at ``sx`` must be mirrored to shard ``j`` iff
+        ``sx`` falls inside ``j``'s interval; an owned node is *exposed*
+        iff its x falls inside any foreign interval.  ``pad`` must cover
+        interference range plus the worst-case drift of both endpoints
+        between refreshes (the caller derives it from max speed, the
+        refresh period, and the window cap).
+        """
+        lo: Dict[int, float] = {}
+        hi: Dict[int, float] = {}
+        for owner, x in zip(owner_of, xs):
+            cur = lo.get(owner)
+            if cur is None or x < cur:
+                lo[owner] = x
+            cur = hi.get(owner)
+            if cur is None or x > cur:
+                hi[owner] = x
+        out: Dict[int, Interval] = {}
+        for j in range(shards):
+            if j in lo:
+                out[j] = (lo[j] - pad, hi[j] + pad)
+            else:
+                out[j] = None
+        return out
+
+    @staticmethod
+    def in_interval(x: float, interval: Interval) -> bool:
+        return interval is not None and interval[0] <= x <= interval[1]

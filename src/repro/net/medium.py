@@ -63,11 +63,13 @@ from repro.geo.spatial_array import ArraySpatialIndex, FanOut
 from repro.geo.vec import Position
 from repro.net.mac.frames import MacFrame
 from repro.net.pool import FramePool, validate_pool_mode
-from repro.sim.engine import Simulator
+from repro.sim.engine import MEDIUM_ACTOR, Simulator
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.phy import PhyRadio
+    from repro.sim.keyed import KeyedSimulator
+    from repro.sim.shard.worker import ShardBridge
 
 __all__ = [
     "Transmission",
@@ -80,6 +82,10 @@ __all__ = [
 
 INDEX_MODES = ("grid", "brute", "cross")
 SPATIAL_MODES = ("obj", "array", "cross")
+
+#: Key-scope tag for the sender's transmission-completion work; sorts
+#: before every receiver tag ``(node_id,)`` because node ids are >= 0.
+_SENDER_SCOPE = (-1,)
 
 
 def validate_spatial_mode(mode: str) -> str:
@@ -193,6 +199,24 @@ class RadioMedium:
                 Optional[List[float]],
             ],
         ] = {}
+        # Sharded execution (repro.sim.shard): when set, fan-out only
+        # touches owned radios, transmission completion runs under
+        # per-receiver key scopes, and every local transmission is
+        # announced to the bridge for cross-border mirroring.
+        self._shard_owned: Optional[FrozenSet[int]] = None
+        self._shard_keyed: Optional["KeyedSimulator"] = None
+        self._shard_bridge: Optional["ShardBridge"] = None
+
+    def set_shard_context(
+        self,
+        keyed_sim: "KeyedSimulator",
+        owned: FrozenSet[int],
+        bridge: Optional["ShardBridge"],
+    ) -> None:
+        """Enter sharded operation (called once by the shard worker)."""
+        self._shard_keyed = keyed_sim
+        self._shard_owned = owned
+        self._shard_bridge = bridge
 
     def register(self, radio: "PhyRadio") -> None:
         self._radios.append(radio)
@@ -297,6 +321,7 @@ class RadioMedium:
         sender.begin_transmit(tx)
         radio_range2 = self._radio_range2
         interference_range2 = self._interference_range2
+        owned = self._shard_owned
         index = self._aindex if aindex is not None else self._index
         # -1 disables the memo (brute mode, or some radio can move); the
         # index version is read *before* the gather, so a concurrent
@@ -334,6 +359,8 @@ class RadioMedium:
             if keep_dists:
                 for row, dxv, dyv, deliv in zip(rows, fdx, fdy, fdel):
                     radio = radios[row]
+                    if owned is not None and radio.node_id not in owned:
+                        continue
                     # Scalar hypot on the batch-derived deltas: bitwise
                     # what own_pos.distance_to(sender_pos) computes on the
                     # object path, so capture ratios and loss draws see
@@ -347,6 +374,8 @@ class RadioMedium:
             else:
                 for row, dxv, dyv, deliv in zip(rows, fdx, fdy, fdel):
                     radio = radios[row]
+                    if owned is not None and radio.node_id not in owned:
+                        continue
                     dist = hypot(dxv, dyv)
                     if deliv:
                         deliverable.add(radio.node_id)
@@ -362,6 +391,8 @@ class RadioMedium:
             affected = []
             for radio in self._candidates(sender_pos, self.interference_range):
                 if radio is sender:
+                    continue
+                if owned is not None and radio.node_id not in owned:
                     continue
                 d2 = radio.position.distance2_to(sender_pos)
                 if d2 <= interference_range2:
@@ -380,18 +411,98 @@ class RadioMedium:
             self._cross_check(sender_pos, self.interference_range, affected, sender)
 
         pool = self.frame_pool
+        keyed = self._shard_keyed
 
-        def _finish() -> None:
-            sender.end_transmit(tx)
-            for radio in affected:
-                radio.on_tx_end(tx)
-            if pool is not None:
-                # The frame's airtime is over and every receiver has
-                # consumed it synchronously above — recycle it.
-                pool.release_frame(frame)
+        if keyed is None:
 
-        self.sim.schedule(duration, _finish, priority=-1, name="phy.tx_end")
+            def _finish() -> None:
+                sender.end_transmit(tx)
+                for radio in affected:
+                    radio.on_tx_end(tx)
+                if pool is not None:
+                    # The frame's airtime is over and every receiver has
+                    # consumed it synchronously above — recycle it.
+                    pool.release_frame(frame)
+
+        else:
+
+            def _finish() -> None:
+                # Per-participant key scopes: the sender's completion and
+                # each receiver's reception draw causal keys independent
+                # of which subset of receivers this shard owns.  The
+                # sender tag (-1,) sorts before every node-id tag, and
+                # ``affected`` is in registration (node-id) order, so the
+                # scope order matches single-engine schedule order.
+                with keyed.key_scope(_SENDER_SCOPE, actor=tx.sender_id):
+                    sender.end_transmit(tx)
+                for radio in affected:
+                    with keyed.key_scope((radio.node_id,)):
+                        radio.on_tx_end(tx)
+                if pool is not None:
+                    pool.release_frame(frame)
+
+        finish_event = self.sim.schedule(
+            duration, _finish, priority=-1, name="phy.tx_end", actor=MEDIUM_ACTOR
+        )
+        bridge = self._shard_bridge
+        if bridge is not None:
+            bridge.note_local_tx(tx, frame, affected, finish_event)
         return tx
+
+    # --------------------------------------------------- ghost transmissions
+    def apply_ghost_start(
+        self,
+        sender_id: int,
+        sender_pos: Position,
+        frame: MacFrame,
+        start: float,
+        end: float,
+    ) -> Tuple[Transmission, List["PhyRadio"]]:
+        """Mirror a remote shard's transmission onto our owned radios.
+
+        Reconstructs a :class:`Transmission` (its uid is local — uids are
+        deliberately outside the trace-equivalence contract, see DET-006)
+        and applies ``on_tx_start`` to every owned radio in range, with
+        the scalar distance recomputation that is bitwise-equal to the
+        owner shard's batched path.  Emits nothing and bumps no counters:
+        the owner already accounted for this frame.
+        """
+        tx = Transmission(
+            uid=next(self._tx_uid),
+            sender_id=sender_id,
+            sender_pos=sender_pos,
+            frame=frame,
+            start=start,
+            end=end,
+        )
+        owned = self._shard_owned
+        affected: List["PhyRadio"] = []
+        radio_range2 = self._radio_range2
+        interference_range2 = self._interference_range2
+        for radio in self._candidates(sender_pos, self.interference_range):
+            # The sender's dormant replica sits in our index too.
+            if radio.node_id == sender_id:
+                continue
+            if owned is not None and radio.node_id not in owned:
+                continue
+            d2 = radio.position.distance2_to(sender_pos)
+            if d2 <= interference_range2:
+                if d2 <= radio_range2:
+                    tx.deliverable_to.add(radio.node_id)
+                radio.on_tx_start(tx)
+                affected.append(radio)
+        return tx, affected
+
+    def apply_ghost_finish(self, tx: Transmission, affected: List["PhyRadio"]) -> None:
+        """Complete a mirrored transmission (receiver side only).
+
+        Runs at the owner's ``phy.tx_end`` key, so each receiver scope
+        draws exactly the keys the single engine would."""
+        keyed = self._shard_keyed
+        assert keyed is not None
+        for radio in affected:
+            with keyed.key_scope((radio.node_id,)):
+                radio.on_tx_end(tx)
 
     def _spatial_cross_check(
         self,

@@ -17,7 +17,7 @@ from typing import Callable, Optional, Protocol
 
 from repro.geo.region import Region
 from repro.geo.vec import Position
-from repro.sim.engine import Simulator
+from repro.sim.engine import PURE_ACTOR, Simulator
 
 __all__ = ["MobilityModel", "StaticMobility", "RandomWaypointMobility", "WaypointLeg"]
 
@@ -174,7 +174,9 @@ class RandomWaypointMobility:
 
     def _schedule_roll(self) -> None:
         delay = max(0.0, self._leg.arrive_time - self.sim.now)
-        self.sim.schedule(delay, self._roll, name="rwp.roll")
+        # PURE: waypoint rolls touch only mobility state and can never
+        # lead to a transmission, so the sharded promise scan skips them.
+        self.sim.schedule(delay, self._roll, name="rwp.roll", actor=PURE_ACTOR)
 
     def _roll(self) -> None:
         self._leg = self._next_leg(self._leg.target, self.sim.now)

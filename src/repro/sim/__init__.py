@@ -2,6 +2,7 @@
 streams, tracing)."""
 
 from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.keyed import KeyedSimulator
 from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.timerwheel import (
     SCHEDULER_MODES,
@@ -13,6 +14,7 @@ from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
     "Event",
+    "KeyedSimulator",
     "SimulationError",
     "Simulator",
     "SCHEDULER_MODES",

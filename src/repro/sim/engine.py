@@ -68,6 +68,8 @@ __all__ = [
     "SchedulerCoherenceError",
     "SCHEDULER_MODES",
     "call_later",
+    "PURE_ACTOR",
+    "MEDIUM_ACTOR",
 ]
 
 #: Compaction trigger: rebuild the backend once the backlog exceeds this
@@ -75,6 +77,16 @@ __all__ = [
 #: the O(n) rebuild; large churny ones amortize it against the >n/2 dead
 #: entries removed.
 COMPACT_MIN_BACKLOG = 512
+
+#: Actor tag for events that provably never lead to a transmission
+#: (mobility waypoint rolls, routing-table purge ticks).  The sharded
+#: runtime's promise computation skips them entirely.
+PURE_ACTOR = -2
+
+#: Actor tag for medium ``phy.tx_end`` events, which run receiver-side
+#: code at *many* nodes.  The sharded runtime tracks these through its
+#: in-flight transmission list instead of the per-actor index.
+MEDIUM_ACTOR = -3
 
 
 class SimulationError(RuntimeError):
@@ -88,7 +100,13 @@ class Event:
     for cancellation.  They should not be constructed directly.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "name", "cancelled", "_sim")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "name", "cancelled", "_sim",
+        # Sharded execution (repro.sim.keyed / repro.sim.shard): the causal
+        # sort key and the acting node.  Plain Simulator never assigns or
+        # reads them (unset slots cost nothing); KeyedSimulator sets both.
+        "key", "actor",
+    )
 
     def __init__(
         self,
@@ -195,16 +213,24 @@ class Simulator:
         *,
         priority: int = 0,
         name: str = "",
+        actor: Optional[int] = None,
     ) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         ``delay`` must be non-negative; a zero delay fires after all events
         already scheduled for the current instant.  Lower ``priority`` values
         fire earlier among events at the same time.
+
+        ``actor`` attributes the event to a node for the sharded runtime's
+        conservative-lookahead bookkeeping (see :mod:`repro.sim.keyed`);
+        the plain simulator accepts and ignores it so call sites stay
+        backend-agnostic.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, name=name, actor=actor
+        )
 
     def schedule_at(
         self,
@@ -213,6 +239,7 @@ class Simulator:
         *,
         priority: int = 0,
         name: str = "",
+        actor: Optional[int] = None,
     ) -> Event:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self._now:

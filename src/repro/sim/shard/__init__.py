@@ -1,0 +1,49 @@
+"""Sharded multi-process simulation: column partitions, one engine each.
+
+The arena is split into vertical column shards
+(:class:`repro.geo.partition.ColumnPartition`).  Each shard runs a full
+:class:`repro.sim.keyed.KeyedSimulator` replica of the scenario in which
+only the *owned* nodes (home column at t=0) are live — every other
+node's replica is built identically (same RNG draws, same event keys)
+but dormant.  Shards advance in conservative time windows bounded by
+exchanged *promises* (earliest possible future transmission), and every
+transmission whose sender is foreign but whose footprint reaches an
+owned node is mirrored as a *ghost* at the exact event key the owning
+shard used — so carrier sense, collisions, and capture at shard borders
+are byte-identical to the single-engine run.
+
+``shard_mode`` on :class:`repro.experiments.scenario.ScenarioConfig`:
+
+* ``"off"``   — single engine (the exact seed path; default),
+* ``"on"``    — sharded execution (in-process or multi-process),
+* ``"cross"`` — sharded and single-engine side by side; the first trace
+  divergence raises :class:`ShardCoherenceError`.
+
+This package keeps its import surface light: ``ScenarioConfig``
+validation imports :func:`validate_shard_mode` from here, and the
+heavyweight driver (which itself imports the scenario module) is only
+loaded lazily from :meth:`Scenario.run`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SHARD_MODES", "ShardCoherenceError", "validate_shard_mode"]
+
+SHARD_MODES = ("off", "on", "cross")
+
+
+class ShardCoherenceError(AssertionError):
+    """Sharded and single-engine executions diverged.
+
+    Raised by ``shard_mode="cross"`` at the *first* differing trace
+    record (or differing record count), with both sides' views in the
+    message.  Inherits :class:`AssertionError`: a coherence failure is a
+    broken invariant, not an input error.
+    """
+
+
+def validate_shard_mode(mode: str) -> str:
+    """Validate and return ``mode`` (one of :data:`SHARD_MODES`)."""
+    if mode not in SHARD_MODES:
+        raise ValueError(f"shard_mode must be one of {SHARD_MODES}, got {mode!r}")
+    return mode

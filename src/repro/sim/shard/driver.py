@@ -1,0 +1,399 @@
+"""The conservative window protocol: promise / execute / barrier rounds.
+
+Round structure (coordinator = this module; workers = one per shard,
+inline objects for ``shard_mode="cross"``, forked processes for
+``"on"``):
+
+1. **Deliver + promise.**  Each worker first mirrors the ghost
+   transmissions queued for it at the previous barrier, then reports
+   ``(next event time, promise key)`` — a lower bound on the causal key
+   of its earliest possible future transmission that can reach another
+   shard (exposure-gated; see :meth:`ShardWorker.promise`).
+2. **Horizon.**  Shard *i* may execute every event with key strictly
+   below ``H_i = min(min_{j != i} promise_j, floor + W_MAX, until)``,
+   where ``floor`` is the globally earliest pending event time.  The
+   ``W_MAX`` cushion bounds interest-interval staleness and guarantees
+   progress when every promise is infinite.
+3. **Execute + collect.**  Workers run their window (in parallel under
+   the process transport) and return outgoing ghosts, which the
+   coordinator routes to their target shards for the next round.
+
+Soundness: a shard's promise is a true lower bound (the MAC creates
+every transmit site at least SIFS ahead — see :mod:`repro.sim.shard.
+worker`), so every ghost produced in a round carries a key at or beyond
+every *other* shard's executed horizon: ghosts always land in the
+receiver's future, never its past (:meth:`KeyedSimulator.insert_ghost`
+enforces this as a hard error).  Progress: the shard holding the
+globally minimal pending key always finds every foreign promise
+strictly beyond it (keys are unique; time floors add SIFS), so at least
+one event executes per round.
+
+``shard_mode="cross"`` additionally runs the unmodified single engine
+on the same config and compares the merged shard trace record-by-record
+(``(time, category, node)`` — the repository-wide trace-equivalence
+contract, uids exempt per DET-006), raising :class:`ShardCoherenceError`
+at the first divergence.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import time as _wall
+import traceback
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.shard import ShardCoherenceError
+from repro.sim.shard.keycodec import KeyCodec
+from repro.sim.shard.merge import merge_records, merge_results
+from repro.sim.shard.worker import (
+    GhostTx,
+    INF_KEY,
+    ShardResult,
+    ShardWorker,
+    SlimRecord,
+    W_MAX,
+)
+
+__all__ = ["run_sharded", "effective_jobs"]
+
+#: Sorts above every real priority at a given time: ``(t, _CEIL)`` as a
+#: horizon admits every real key with time <= t (inclusive horizons).
+_CEIL = 2**60
+
+
+def effective_jobs(jobs: int, shards: int, cpu_count: Optional[int] = None) -> int:
+    """Cap the scenario-level worker pool so ``jobs x shards`` processes
+    never exceed the machine.
+
+    Precedence: the per-run shard count wins (a sharded run is one
+    coherent unit and always gets its ``shards`` processes); the
+    ``--jobs`` pool is clamped to ``cpu_count // shards``, floored at 1
+    so progress is always possible.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(1, min(jobs, cpus // max(1, shards)))
+
+
+# --------------------------------------------------------------- transports
+def _pack_ghosts(codec: KeyCodec, ghosts: Sequence[GhostTx]):
+    """Swap deep causal keys for table indices before pickling.
+
+    Causal keys are linked chains whose nesting depth grows with the
+    causal history; pickling them recurses per level and overflows on
+    long runs.  See :mod:`repro.sim.shard.keycodec`.
+    """
+    packed = [
+        replace(
+            g,
+            start_key=codec.encode(g.start_key),
+            finish_key=codec.encode(g.finish_key),
+        )
+        for g in ghosts
+    ]
+    return codec.flush(), packed
+
+
+def _unpack_ghosts(codec: KeyCodec, table, packed) -> List[GhostTx]:
+    codec.extend(table)
+    return [
+        replace(
+            g,
+            start_key=codec.decode(g.start_key),
+            finish_key=codec.decode(g.finish_key),
+        )
+        for g in packed
+    ]
+
+
+class _InlineHandle:
+    """Same-process worker (cross mode, tests): calls are synchronous."""
+
+    def __init__(self, config, shard_index: int, capture_all: bool) -> None:
+        self.worker = ShardWorker(config, shard_index, capture_all)
+        self.worker.start()
+        self._reply: object = None
+
+    def send_promise(self, ghosts: Sequence[GhostTx]) -> None:
+        self.worker.deliver_ghosts(ghosts)
+        self._reply = self.worker.promise()
+
+    def recv_promise(self):
+        return self._reply
+
+    def send_execute(self, horizon) -> None:
+        self._reply = self.worker.execute_window(horizon)
+
+    def recv_execute(self):
+        return self._reply
+
+    def finish(self, until: float) -> ShardResult:
+        return self.worker.finish(until)
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, config, shard_index: int, capture_all: bool) -> None:
+    """Entry point of a forked shard process: build, then serve rounds.
+
+    Every key-bearing payload crosses the pipe codec-flattened (ghost
+    start/finish keys, the promise key, the execute horizon, and each
+    record's merge key) — naive pickling of the deeply nested causal
+    keys recurses past the interpreter limit.
+    """
+    try:
+        worker = ShardWorker(config, shard_index, capture_all)
+        worker.start()
+        # The child inherits the parent's entire heap via fork, and the
+        # freshly built scenario graph is live for the whole run.  Move
+        # both to the permanent generation so cyclic GC stops rescanning
+        # them every collection — with a large parent heap that scan
+        # otherwise dominates worker CPU (and therefore the busy metric).
+        gc.freeze()
+        # The window loop allocates acyclic objects almost exclusively
+        # (key tuples, pooled frames/receptions), so the default gen-0
+        # trigger fires thousands of collections that free nothing.
+        # Raise the threshold so cycle detection still runs — leaked
+        # cycles are eventually reclaimed — but at a rate the event loop
+        # no longer notices.
+        gc.set_threshold(200_000, 50, 50)
+        codec = KeyCodec()
+        while True:
+            kind, payload = conn.recv()
+            if kind == "promise":
+                table, packed = payload
+                worker.deliver_ghosts(_unpack_ghosts(codec, table, packed))
+                peek, key = worker.promise()
+                idx = codec.encode(key)
+                conn.send(("ok", (codec.flush(), peek, idx)))
+            elif kind == "execute":
+                table, idx = payload
+                codec.extend(table)
+                executed, busy, out = worker.execute_window(codec.decode(idx))
+                gtable, packed = _pack_ghosts(codec, out)
+                conn.send(("ok", (gtable, executed, busy, packed)))
+            elif kind == "finish":
+                result = worker.finish(payload)
+                result.records = [
+                    replace(r, key=codec.encode(r.key)) for r in result.records
+                ]
+                conn.send(("ok", (codec.flush(), result)))
+            elif kind == "stop":
+                return
+    except EOFError:  # coordinator died; nothing to report to
+        return
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+class _ProcHandle:
+    """One forked shard process, spoken to over a duplex pipe.
+
+    Promise and execute requests are sent to *all* shards before any
+    reply is awaited, so shard windows genuinely overlap in wallclock.
+    """
+
+    def __init__(
+        self, ctx, config, shard_index: int, capture_all: bool, intern: dict
+    ) -> None:
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child, config, shard_index, capture_all),
+            daemon=True,
+        )
+        self.proc.start()
+        child.close()
+        # The intern dict is shared across every shard's codec so that
+        # mirrored keys from different shards unify to identical objects
+        # (keeps the merge's key comparisons shallow via the identity
+        # shortcut instead of walking deep equal chains).
+        self._codec = KeyCodec(intern)
+
+    def _recv(self):
+        kind, payload = self.conn.recv()
+        if kind == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def send_promise(self, ghosts: Sequence[GhostTx]) -> None:
+        self.conn.send(("promise", _pack_ghosts(self._codec, ghosts)))
+
+    def recv_promise(self):
+        table, peek, idx = self._recv()
+        self._codec.extend(table)
+        return peek, self._codec.decode(idx)
+
+    def send_execute(self, horizon) -> None:
+        idx = self._codec.encode(horizon)
+        self.conn.send(("execute", (self._codec.flush(), idx)))
+
+    def recv_execute(self):
+        table, executed, busy, packed = self._recv()
+        return executed, busy, _unpack_ghosts(self._codec, table, packed)
+
+    def finish(self, until: float) -> ShardResult:
+        self.conn.send(("finish", until))
+        table, result = self._recv()
+        self._codec.extend(table)
+        result.records = [
+            replace(r, key=self._codec.decode(r.key)) for r in result.records
+        ]
+        return result
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+        self.conn.close()
+
+
+# -------------------------------------------------------------- coordination
+def _coordinate(
+    handles: List, shards: int, until: float
+) -> Tuple[int, float, float]:
+    """Run promise/execute rounds to the horizon.
+
+    Returns ``(rounds, critical_path_seconds, busy_seconds_total)`` —
+    the critical path is the sum over rounds of the slowest shard's busy
+    time, i.e. the wallclock a fully parallel execution could achieve
+    (reported by the benchmark alongside actual wallclock, which on a
+    single-CPU host cannot show the speedup); the busy total sums every
+    shard's execution time (critical / (total / shards) measures window
+    balance).
+    """
+    pending: List[List[GhostTx]] = [[] for _ in range(shards)]
+    until_bound = (until, _CEIL, ())
+    rounds = 0
+    critical = 0.0
+    busy_total = 0.0
+    while True:
+        for i, handle in enumerate(handles):
+            handle.send_promise(pending[i])
+        promises = [handle.recv_promise() for handle in handles]
+        pending = [[] for _ in range(shards)]
+        peeks = [p for p, _ in promises if p is not None]
+        floor = min(peeks) if peeks else None
+        if floor is None or floor > until:
+            break
+        cushion = (floor + W_MAX, -_CEIL, ())
+        for i, handle in enumerate(handles):
+            foreign = min(
+                (promises[j][1] for j in range(shards) if j != i),
+                default=INF_KEY,
+            )
+            horizon = min(foreign, cushion, until_bound)
+            handle.send_execute(horizon)
+        executed_total = 0
+        slowest = 0.0
+        for i, handle in enumerate(handles):
+            executed, busy, out = handle.recv_execute()
+            executed_total += executed
+            busy_total += busy
+            if busy > slowest:
+                slowest = busy
+            for ghost in out:
+                for target in ghost.targets:
+                    pending[target].append(ghost)
+        critical += slowest
+        rounds += 1
+        if executed_total == 0 and not any(pending):
+            raise RuntimeError(
+                "shard window protocol stalled: no shard could advance at "
+                f"t={floor!r} (round {rounds})"
+            )
+    return rounds, critical, busy_total
+
+
+# --------------------------------------------------------------- cross check
+def _compare_traces(reference, merged: List[SlimRecord]) -> None:
+    """Record-by-record equivalence per the repo trace contract."""
+    limit = min(len(reference), len(merged))
+    for i in range(limit):
+        ref = reference[i]
+        got = merged[i]
+        if (repr(ref.time), ref.category, ref.node) != (
+            repr(got.time),
+            got.category,
+            got.node,
+        ):
+            raise ShardCoherenceError(
+                f"trace divergence at record {i}: single engine "
+                f"({ref.time!r}, {ref.category!r}, node={ref.node!r}) vs "
+                f"sharded ({got.time!r}, {got.category!r}, node={got.node!r})"
+            )
+    if len(reference) != len(merged):
+        raise ShardCoherenceError(
+            f"trace length mismatch: single engine {len(reference)} records, "
+            f"sharded {len(merged)} (first {limit} identical)"
+        )
+
+
+# --------------------------------------------------------------- entry point
+def run_sharded(config):
+    """Execute ``config`` under the sharded runtime and merge the result.
+
+    ``shard_mode="on"`` forks one process per shard (conservative
+    windows overlap in wallclock); ``"cross"`` runs the shards inline
+    *and* the unmodified single engine, comparing traces record by
+    record.  Either way the returned :class:`ScenarioResult` is merged
+    from the shards.
+    """
+    started = _wall.perf_counter()
+    shards = config.shards
+    cross = config.shard_mode == "cross"
+    capture_all = cross or config.keep_trace
+
+    handles: List = []
+    try:
+        if cross or shards == 1:
+            handles = [
+                _InlineHandle(config, i, capture_all) for i in range(shards)
+            ]
+        else:
+            ctx = multiprocessing.get_context("fork")
+            intern: dict = {}
+            handles = [
+                _ProcHandle(ctx, config, i, capture_all, intern)
+                for i in range(shards)
+            ]
+        rounds, critical, busy_total = _coordinate(
+            handles, shards, config.sim_time
+        )
+        parts = [handle.finish(config.sim_time) for handle in handles]
+    finally:
+        for handle in handles:
+            handle.close()
+
+    if cross:
+        from repro.experiments.scenario import Scenario
+
+        reference_cfg = replace(config, shard_mode="off", keep_trace=True)
+        reference = Scenario(reference_cfg)
+        reference.run()
+        _compare_traces(
+            reference.tracer.records, merge_records([p.records for p in parts])
+        )
+
+    result = merge_results(config, parts, _wall.perf_counter() - started)
+    result.__dict__["shard_stats"] = {
+        "shards": shards,
+        "rounds": rounds,
+        "critical_path_seconds": critical,
+        "busy_seconds_total": busy_total,
+        "transport": "inline" if (cross or shards == 1) else "fork",
+        "events": sum(p.processed_events for p in parts),
+    }
+    return result

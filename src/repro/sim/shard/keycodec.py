@@ -1,0 +1,205 @@
+"""Portable encoding for causal keys crossing process boundaries.
+
+Causal keys are linked structures: a runtime ckey embeds its parent's
+full key, which embeds *its* ckey, and so on back to a build-phase root.
+In-process this is cheap — parents are shared by reference, and tuple
+comparison short-circuits element equality on identity — but the chains
+grow with causal depth (thousands of links over a long run), so both
+pickling them and *structurally* comparing two non-identical copies
+recurse per level and overflow the interpreter limit.
+
+This module flattens key DAGs iteratively.  A :class:`KeyCodec` sits at
+each pipe endpoint and serves both directions with one shared object
+universe:
+
+* :meth:`encode` canonicalizes a key bottom-up with an explicit stack
+  (memoised by identity), then emits one *shallow* descriptor per node
+  not yet in the pipe's table — shared ancestry crosses each pipe once,
+  ever.  Fresh descriptors ship with the message via :meth:`flush`.
+* :meth:`extend` ingests the peer's descriptors, rebuilding nodes
+  bottom-up and **interning** them by structure.  Because encoding
+  registers the same intern entries, a key that embeds history this
+  endpoint already owns decodes to the *original local objects*: a
+  sentinel horizon built on a ghost this shard emitted compares against
+  local heap keys identity-shallow instead of walking thousands of
+  structurally-equal links.
+
+Both directions of a pipe append to one index space; the strict
+request/reply lockstep of the shard protocol keeps the two endpoint
+tables aligned entry-for-entry (each message ships exactly the entries
+its sender appended).  The coordinator passes one shared ``intern``
+dict to every shard's codec so mirrored keys arriving from *different*
+shards also unify before the record streams are merged.
+
+Node shapes (distinguished by length — a full key is always a 3-tuple,
+a ckey never is):
+
+* full key  ``(time, priority, ckey)``
+* build ckey ``(0, index)``
+* runtime ckey ``(1, parent_full_key, scope, k)`` — plus a trailing
+  ``2`` for ghost-start epsilon keys
+* empty ckey ``()`` — floor/ceiling bounds
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["KeyCodec"]
+
+#: Descriptor kinds (first element of a table entry).
+_KIND_KEY = 0  # full key: (0, time, priority, ckey_index | -1 for ())
+_KIND_BUILD = 1  # build ckey: (1, index)
+_KIND_RUNTIME = 2  # runtime ckey: (2, parent_key_index, scope, k, ghost_flag)
+
+
+def _sub(node: tuple) -> Optional[tuple]:
+    """The embedded node that must be handled before ``node``."""
+    if len(node) == 3:  # full key -> its ckey (empty ckey is terminal)
+        return node[2] if node[2] else None
+    if len(node) >= 4:  # runtime ckey -> its parent full key
+        return node[1]
+    return None  # build ckey / empty
+
+
+def _rebuild(node: tuple, canonical_sub: tuple) -> tuple:
+    n = len(node)
+    if n == 3:
+        return (node[0], node[1], canonical_sub)
+    rebuilt = (1, canonical_sub, node[2], node[3])
+    return rebuilt + (2,) if n == 5 else rebuilt
+
+
+class KeyCodec:
+    """One per pipe endpoint; encode and decode share one universe."""
+
+    def __init__(self, intern: Optional[Dict[tuple, tuple]] = None) -> None:
+        self._nodes: List[tuple] = []  # object per table index (decode)
+        self._index: Dict[int, int] = {}  # id(canonical) -> first index
+        self._canon: Dict[int, tuple] = {}  # id(seen) -> canonical twin
+        self._pin: List[tuple] = []  # keeps ids in _canon valid
+        self._fresh: List[tuple] = []  # descriptors since last flush()
+        self._intern: Dict[tuple, tuple] = {} if intern is None else intern
+
+    # ------------------------------------------------------------- plumbing
+    def _probe(self, node: tuple) -> tuple:
+        """Structural identity of ``node`` (its sub-node, if any, must
+        already be canonical so ``id`` is a sound proxy for structure)."""
+        n = len(node)
+        if n == 3:
+            return (_KIND_KEY, node[0], node[1], id(node[2]) if node[2] else 0)
+        if n == 2:
+            return (_KIND_BUILD, node[1])
+        return (
+            _KIND_RUNTIME,
+            id(node[1]),
+            node[2],
+            node[3],
+            1 if n == 5 else 0,
+        )
+
+    def _describe(self, node: tuple) -> tuple:
+        """Shallow wire descriptor of a canonical node whose ancestry is
+        already registered in the table."""
+        index = self._index
+        n = len(node)
+        if n == 3:
+            ck = node[2]
+            return (_KIND_KEY, node[0], node[1], index[id(ck)] if ck else -1)
+        if n == 2:
+            return (_KIND_BUILD, node[1])
+        return (
+            _KIND_RUNTIME,
+            index[id(node[1])],
+            node[2],
+            node[3],
+            1 if n == 5 else 0,
+        )
+
+    def _canonical(self, key: tuple) -> tuple:
+        """Resolve ``key`` to its one canonical twin, interning any new
+        structure along the chain."""
+        cmap = self._canon
+        intern = self._intern
+        chain: List[tuple] = []
+        cur: Optional[tuple] = key
+        while cur is not None and id(cur) not in cmap:
+            chain.append(cur)
+            cur = _sub(cur)
+        for node in chain[::-1]:
+            sub = _sub(node)
+            shaped = node
+            if sub is not None:
+                canonical_sub = cmap[id(sub)]
+                if canonical_sub is not sub:
+                    shaped = _rebuild(node, canonical_sub)
+            probe = self._probe(shaped)
+            canonical = intern.get(probe)
+            if canonical is None:
+                canonical = intern[probe] = shaped
+            cmap[id(node)] = canonical
+            self._pin.append(node)
+        return cmap[id(key)]
+
+    # --------------------------------------------------------------- encode
+    def encode(self, key: Optional[tuple]) -> Optional[int]:
+        """Return ``key``'s table index, appending fresh descriptors for
+        any not-yet-shipped ancestry (collect them with :meth:`flush`)."""
+        if key is None:
+            return None
+        canonical = self._canonical(key)
+        index = self._index
+        chain: List[tuple] = []
+        cur: Optional[tuple] = canonical
+        while cur is not None and id(cur) not in index:
+            chain.append(cur)
+            cur = _sub(cur)
+        for node in chain[::-1]:
+            index[id(node)] = len(self._nodes)
+            self._nodes.append(node)
+            self._fresh.append(self._describe(node))
+        return index[id(canonical)]
+
+    def flush(self) -> List[tuple]:
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    # --------------------------------------------------------------- decode
+    def extend(self, table: List[tuple]) -> None:
+        """Ingest the peer's fresh descriptors, in send order."""
+        nodes = self._nodes
+        index = self._index
+        cmap = self._canon
+        intern = self._intern
+        for desc in table:
+            kind = desc[0]
+            if kind == _KIND_KEY:
+                _, t, prio, ci = desc
+                ck = nodes[ci] if ci >= 0 else ()
+                probe: tuple = (_KIND_KEY, t, prio, id(ck) if ci >= 0 else 0)
+                node = intern.get(probe)
+                if node is None:
+                    node = intern[probe] = (t, prio, ck)
+            elif kind == _KIND_BUILD:
+                probe = (_KIND_BUILD, desc[1])
+                node = intern.get(probe)
+                if node is None:
+                    node = intern[probe] = (0, desc[1])
+            else:
+                _, pi, scope, k, ghost = desc
+                parent = nodes[pi]
+                probe = (_KIND_RUNTIME, id(parent), scope, k, ghost)
+                node = intern.get(probe)
+                if node is None:
+                    node = (1, parent, scope, k)
+                    if ghost:
+                        node += (2,)
+                    intern[probe] = node
+            index.setdefault(id(node), len(nodes))
+            cmap.setdefault(id(node), node)
+            nodes.append(node)
+
+    def decode(self, index: Optional[int]) -> Optional[tuple]:
+        if index is None:
+            return None
+        return self._nodes[index]

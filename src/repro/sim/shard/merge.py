@@ -1,0 +1,160 @@
+"""Merging per-shard outputs back into one :class:`ScenarioResult`.
+
+The workers ship key-stamped :class:`~repro.sim.shard.worker.SlimRecord`
+streams (each already in causal-key order — execution order is key
+order) plus per-owned-node counters.  The merge:
+
+* k-way merges the record streams by causal key, which by the ordering
+  theorem (:mod:`repro.sim.keyed`) is exactly the single engine's
+  emission order;
+* replays the merged stream through a fresh tracer wired to the *real*
+  metric collectors, so delivery fraction, latency, and overhead are
+  computed by the same code as a single-engine run;
+* sums per-node counters (each node is owned by exactly one shard) and
+  reconciles the fault ledger (lifecycle counters replicate identically
+  in every shard for state parity — taken from shard 0; per-receiver
+  loss counters and delivery-despite-faults counts are partial — summed).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult
+from repro.metrics.collectors import DeliveryCollector, OverheadCollector
+from repro.metrics.stats import summarize
+from repro.routing.base import RouterStats
+from repro.sim.shard.worker import ShardResult, SlimRecord
+from repro.sim.trace import Tracer
+
+__all__ = ["merge_records", "merge_results", "PacketShim"]
+
+
+class PacketShim:
+    """Stands in for the packet object in replayed ``phy.tx`` records.
+
+    The overhead collector only reads ``kind`` and ``size_bytes()``;
+    shipping these two numbers instead of the live packet keeps ghost
+    records transport-agnostic (picklable, no cross-shard aliasing).
+    """
+
+    __slots__ = ("kind", "_size")
+
+    def __init__(self, kind: str, size: int) -> None:
+        self.kind = kind
+        self._size = size
+
+    def size_bytes(self) -> int:
+        return self._size
+
+
+def merge_records(streams: Sequence[Sequence[SlimRecord]]) -> List[SlimRecord]:
+    """K-way merge of per-shard record streams by causal key."""
+    return list(heapq.merge(*streams, key=lambda r: r.key))
+
+
+#: Lifecycle fields every shard counts identically (each replays every
+#: crash/recover for state parity) — taken from shard 0, not summed.
+_REPLICATED_FAULT_FIELDS = ("crashes", "recoveries", "downtime_s")
+#: Derived field recomputed from the summed inputs.
+_DERIVED_FAULT_FIELDS = ("mean_burst_length",)
+
+
+def _merge_fault_counters(parts: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    parts = list(parts)
+    merged: Dict[str, float] = dict(parts[0])
+    for other in parts[1:]:
+        for key, value in other.items():
+            if key in _REPLICATED_FAULT_FIELDS or key in _DERIVED_FAULT_FIELDS:
+                continue
+            merged[key] = merged.get(key, 0) + value
+    if merged.get("bursts_completed"):
+        merged["mean_burst_length"] = round(
+            merged["burst_drops_total"] / merged["bursts_completed"], 6
+        )
+    else:
+        merged["mean_burst_length"] = 0.0
+    return merged
+
+
+def merge_results(
+    config: ScenarioConfig,
+    parts: Sequence[ShardResult],
+    wallclock_seconds: float,
+) -> ScenarioResult:
+    """Assemble the single :class:`ScenarioResult` from all shards."""
+    ordered = sorted(parts, key=lambda p: p.shard_index)
+    merged = merge_records([p.records for p in ordered])
+
+    # Replay through the real collectors (same wiring order as Scenario).
+    tracer = Tracer(keep=config.keep_trace)
+    delivery = DeliveryCollector(tracer)
+    overhead = OverheadCollector(tracer)
+    for record in merged:
+        if record.category == "phy.tx":
+            packet_obj = (
+                PacketShim(record.packet_kind, record.packet_size)
+                if record.packet_size is not None
+                else None
+            )
+            tracer.emit(
+                record.time,
+                record.category,
+                node=record.node,
+                packet_uid=record.packet_uid,
+                packet_kind=record.packet_kind,
+                packet_obj=packet_obj,
+            )
+        elif record.packet_uid is not None:
+            tracer.emit(
+                record.time,
+                record.category,
+                node=record.node,
+                packet_uid=record.packet_uid,
+                packet_kind=record.packet_kind,
+            )
+        else:
+            tracer.emit(record.time, record.category, node=record.node)
+
+    totals = RouterStats()
+    by_node: Dict[int, Dict[str, int]] = {}
+    for part in ordered:
+        by_node.update(part.router_stats)
+    for node_id in sorted(by_node):
+        stats = by_node[node_id]
+        for field_name in vars(totals):
+            setattr(totals, field_name, getattr(totals, field_name) + stats[field_name])
+
+    collisions = sum(p.collisions for p in ordered)
+    frames_on_air = sum(p.frames_sent for p in ordered)
+    latencies = delivery.latencies
+    bytes_by_kind = {
+        kind: counter.bytes for kind, counter in overhead.by_kind.items()
+    }
+    frames_by_kind = {
+        kind: counter.frames for kind, counter in overhead.by_kind.items()
+    }
+    fault_counters: Dict[str, float] = {}
+    if config.loss_model != "none" or (
+        config.fault_plan is not None and config.fault_plan
+    ):
+        fault_counters = _merge_fault_counters(p.fault_counters for p in ordered)
+    result = ScenarioResult(
+        config=config,
+        sent=delivery.sent,
+        delivered=delivery.delivered,
+        delivery_fraction=delivery.delivery_fraction,
+        mean_latency=delivery.mean_latency,
+        latency=summarize(latencies) if latencies else None,
+        router_totals=totals,
+        frames_on_air=frames_on_air,
+        collisions=collisions,
+        wallclock_seconds=wallclock_seconds,
+        bytes_by_kind=bytes_by_kind,
+        frames_by_kind=frames_by_kind,
+        fault_counters=fault_counters,
+    )
+    # Stash the merged trace for cross-mode comparison and tests.
+    result.__dict__["merged_tracer"] = tracer
+    return result

@@ -62,7 +62,8 @@ class CbrSource:
         sharing a start time do not synchronize their channel access)."""
         delay = max(0.0, self.flow.start_time - self.sim.now)
         delay += self.rng.uniform(0.0, self._interval)
-        self.sim.schedule(delay, self._tick, name="cbr.tick")
+        # actor tag: start() runs at build time, outside any event.
+        self.sim.schedule(delay, self._tick, name="cbr.tick", actor=self.node.node_id)
 
     def _tick(self) -> None:
         if self.flow.stop_time is not None and self.sim.now > self.flow.stop_time:

@@ -9,7 +9,7 @@ uniformly chosen distinct destination.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.traffic.cbr import CbrFlow
 
@@ -26,12 +26,21 @@ def make_flows(
     payload_bytes: int = 64,
     start_window: tuple[float, float] = (5.0, 30.0),
     stop_time: float | None = None,
+    positions: Optional[Sequence[Tuple[float, float]]] = None,
+    locality: Optional[float] = None,
 ) -> List[CbrFlow]:
     """Draw a CBR workload.
 
     ``node_ids[i]`` must be the node whose identity is ``identities[i]``.
     Flow start times are uniform in ``start_window`` so sources ramp up
     gradually (the NS-2 CMU convention).
+
+    With ``locality`` set, each destination is drawn uniformly among the
+    nodes whose ``positions`` entry lies within that distance of the
+    sender's, instead of uniformly over the whole field (a sender with
+    no neighbour in range falls back to the next node id, keeping the
+    flow count exact).  ``locality=None`` runs the original draw with an
+    untouched rng call sequence — existing seeds stay byte-identical.
     """
     if num_senders > len(node_ids):
         raise ValueError("more senders than nodes")
@@ -39,13 +48,32 @@ def make_flows(
         raise ValueError("need at least one sender and one flow")
     if len(node_ids) < 2:
         raise ValueError("need at least two nodes for traffic")
+    if locality is not None and (positions is None or len(positions) != len(node_ids)):
+        raise ValueError("locality needs one position per node id")
     senders = rng.sample(list(node_ids), num_senders)
+    index_of = {nid: i for i, nid in enumerate(node_ids)}
+    near: Dict[int, List[int]] = {}  # src -> candidate dest indices
     flows: List[CbrFlow] = []
     for i in range(num_flows):
         src = senders[i % num_senders]
-        dest_index = rng.randrange(len(node_ids))
-        while node_ids[dest_index] == src:
+        if locality is not None:
+            cands = near.get(src)
+            if cands is None:
+                sx, sy = positions[index_of[src]]
+                reach = locality * locality
+                cands = near[src] = [
+                    j
+                    for j, (x, y) in enumerate(positions)
+                    if node_ids[j] != src and (x - sx) ** 2 + (y - sy) ** 2 <= reach
+                ]
+            if cands:
+                dest_index = cands[rng.randrange(len(cands))]
+            else:
+                dest_index = (index_of[src] + 1) % len(node_ids)
+        else:
             dest_index = rng.randrange(len(node_ids))
+            while node_ids[dest_index] == src:
+                dest_index = rng.randrange(len(node_ids))
         flows.append(
             CbrFlow(
                 src_node_id=src,

@@ -680,3 +680,191 @@ def test_det013_tests_are_exempt(tmp_path):
         rel="tests/test_fixture.py",
     )
     assert result.findings == []
+
+
+# ------------------------------------------------------------------- DET-014
+def test_det014_shard_dict_iteration_feeding_scheduler(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def drain(sim, ghost_queues):
+            ghost_queues = {}
+            for shard, batch in ghost_queues.items():
+                for tx in batch:
+                    sim.schedule_at(tx.start, tx.fire)
+        """,
+        select=["DET-014"],
+    )
+    assert rule_ids(result) == ["DET-014"]
+    assert "message-" in result.findings[0].message
+
+
+def test_det014_sorted_shard_dict_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def drain(sim, ghost_queues):
+            ghost_queues = {}
+            for shard, batch in sorted(ghost_queues.items()):
+                for tx in batch:
+                    sim.schedule_at(tx.start, tx.fire)
+        """,
+        select=["DET-014"],
+    )
+    assert result.findings == []
+
+
+def test_det014_shard_dict_without_scheduler_sink_passes(tmp_path):
+    """Counting over a worker map never reaches the event queue."""
+    result = lint_source(
+        tmp_path,
+        """\
+        def tally(worker_conns):
+            worker_conns = {}
+            total = 0
+            for conn in worker_conns.values():
+                total += 1
+            return total
+        """,
+        select=["DET-014"],
+    )
+    assert result.findings == []
+
+
+def test_det014_nested_function_sink_does_not_leak(tmp_path):
+    """A sink inside a nested helper must not license the outer loop."""
+    result = lint_source(
+        tmp_path,
+        """\
+        def outer(sim, shard_map):
+            shard_map = {}
+            for entry in shard_map.values():
+                entry.touch()
+
+            def inner():
+                sim.schedule_at(0.0, lambda: None)
+
+            return inner
+        """,
+        select=["DET-014"],
+    )
+    assert result.findings == []
+
+
+def test_det014_getpid_as_identity(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import os
+
+        def worker_tag(config):
+            return f"shard-{os.getpid()}"
+        """,
+        select=["DET-014"],
+    )
+    assert rule_ids(result) == ["DET-014"]
+    assert "per-process identity" in result.findings[0].message
+
+
+def test_det014_wall_timer_onto_state(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        class Shard:
+            def start(self):
+                self.started_wall = time.monotonic()
+        """,
+        select=["DET-014"],
+    )
+    assert rule_ids(result) == ["DET-014"]
+    assert "object state" in result.findings[0].message
+
+
+def test_det014_local_wallclock_measurement_passes(tmp_path):
+    """``t0 = time.perf_counter()`` in a local is legal measurement."""
+    result = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        def run(scenario):
+            t0 = time.perf_counter()
+            scenario.run()
+            return time.perf_counter() - t0
+        """,
+        select=["DET-014"],
+    )
+    assert result.findings == []
+
+
+def test_det014_wall_timer_into_scheduling_call(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        def arm(sim, fire):
+            sim.schedule_at(time.monotonic(), fire)
+        """,
+        select=["DET-014"],
+    )
+    assert rule_ids(result) == ["DET-014"]
+    assert "sim.now" in result.findings[0].message
+
+
+def test_det014_unpickled_set_iteration(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from typing import Set
+
+        def apply(conn, registry):
+            members: Set[str] = conn.recv()
+            for name in members:
+                registry.add(name)
+        """,
+        select=["DET-014"],
+    )
+    assert rule_ids(result) == ["DET-014"]
+    assert "hash seed" in result.findings[0].message
+
+
+def test_det014_set_wrapped_recv_iteration(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        def apply(work_queue, registry):
+            for name in set(work_queue.get()):
+                registry.add(name)
+        """,
+        select=["DET-014"],
+    )
+    assert rule_ids(result) == ["DET-014"]
+
+
+def test_det014_sorted_unpickled_set_passes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        from typing import Set
+
+        def apply(conn, registry):
+            members: Set[str] = conn.recv()
+            for name in sorted(members):
+                registry.add(name)
+        """,
+        select=["DET-014"],
+    )
+    assert result.findings == []
+
+
+def test_det014_tests_are_exempt(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import os\n\npid = os.getpid()\n",
+        select=["DET-014"],
+        rel="tests/test_fixture.py",
+    )
+    assert result.findings == []

@@ -33,6 +33,51 @@ def test_config_validation():
         ScenarioConfig(num_nodes=1)
     with pytest.raises(ValueError):
         ScenarioConfig(sim_time=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(placement="poisson")
+    with pytest.raises(ValueError):
+        ScenarioConfig(placement="clusters", num_clusters=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(placement="clusters", cluster_radius=0.0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(flow_locality=-1.0)
+
+
+def test_clustered_placement_confines_nodes():
+    """node_id % num_clusters picks the band; starts and waypoints stay
+    within cluster_radius of its center line."""
+    config = _short(
+        "gpsr",
+        num_nodes=40,
+        width=8000.0,
+        sim_time=1.0,
+        placement="clusters",
+        num_clusters=4,
+        cluster_radius=300.0,
+    )
+    scenario = Scenario(config)
+    pitch = config.width / config.num_clusters
+    for node in scenario.nodes:
+        center = (node.node_id % 4 + 0.5) * pitch
+        for t in (0.0, 0.5, 1.0):
+            x = node.mobility.position_at(t).x
+            assert abs(x - center) <= 300.0 + 1e-9
+
+
+def test_flow_locality_scenario_runs_and_stays_deterministic():
+    config = _short(
+        "agfw",
+        num_nodes=40,
+        sim_time=5.0,
+        placement="clusters",
+        num_clusters=2,
+        cluster_radius=400.0,
+        flow_locality=900.0,
+    )
+    a = run_scenario(config)
+    b = run_scenario(config)
+    assert a.sent > 0 and a.delivered > 0
+    assert (a.sent, a.delivered, a.frames_on_air) == (b.sent, b.delivered, b.frames_on_air)
 
 
 @pytest.mark.parametrize("protocol", ["gpsr", "agfw", "agfw-noack"])

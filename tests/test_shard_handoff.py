@@ -1,0 +1,196 @@
+"""Mobility shard-handoff edge cases.
+
+Ownership is static (home column at t=0) but spatial responsibility is
+dynamic: interest intervals track where a shard's nodes actually are.
+These tests drive the three ways a node can stress that split —
+teleporting across partition lines inside one conservative window,
+sitting exactly on a partition boundary, and churn-crashing while
+straddling a border band — and prove each one byte-identical via
+``shard_mode="cross"`` (the run itself raises ShardCoherenceError on
+the first divergent trace record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.faults import FaultPlan
+from repro.geo.partition import ColumnPartition
+from repro.sim.shard.worker import ShardWorker
+
+
+def _static_cfg(seed: int, **kw):
+    defaults = dict(
+        protocol="gpsr",
+        num_nodes=16,
+        width=1200.0,
+        height=300.0,
+        sim_time=4.0,
+        seed=seed,
+        static=True,
+        num_flows=8,
+        num_senders=8,
+        rate_pps=2.0,
+        traffic_start=(0.5, 1.5),
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+def _positions(cfg: ScenarioConfig):
+    """Node positions at t=0 (the ownership assignment input)."""
+    built = Scenario(replace(cfg, shard_mode="off"))
+    return [n.mobility.position_at(0.0) for n in built.nodes]
+
+
+# ----------------------------------------------------- boundary semantics
+def test_column_of_exact_boundary_ties_break_right():
+    part = ColumnPartition(0.0, 1200.0, 3)
+    w = part.column_width
+    assert part.column_of(0.0) == 0
+    assert part.column_of(w) == 1  # exactly on the first line
+    assert part.column_of(2 * w) == 2
+    assert part.column_of(1200.0) == 2  # arena edge clamps
+    assert part.column_of(-5.0) == 0
+    lo, hi = part.column_bounds(1)
+    assert lo == w and hi == 2 * w
+
+
+def test_interest_interval_endpoints_inclusive():
+    iv = (100.0, 200.0)
+    assert ColumnPartition.in_interval(100.0, iv)
+    assert ColumnPartition.in_interval(200.0, iv)
+    assert not ColumnPartition.in_interval(99.999, iv)
+    assert not ColumnPartition.in_interval(None and 0.0, None)
+
+
+# --------------------------------------------------------------- teleports
+def test_teleports_require_static():
+    with pytest.raises(ValueError, match="static"):
+        ScenarioConfig(teleports=((1.0, 0, 10.0, 10.0),), static=False)
+    with pytest.raises(ValueError, match="unknown node"):
+        ScenarioConfig(teleports=((1.0, 99, 10.0, 10.0),), static=True)
+    with pytest.raises(ValueError, match=">= 0"):
+        ScenarioConfig(teleports=((-1.0, 0, 10.0, 10.0),), static=True)
+
+
+def test_teleport_across_two_partition_lines_byte_identical():
+    """A node jumps from column 0 to column 2 (crossing both partition
+    lines) in a single event — well inside one conservative window."""
+    cfg = _static_cfg(5)
+    positions = _positions(cfg)
+    part = ColumnPartition(0.0, cfg.width, 3)
+    donor = next(
+        i for i, p in enumerate(positions) if part.column_of(p.x) == 0
+    )
+    # Land mid-column-2, mid-traffic.
+    cfg = replace(
+        cfg, teleports=((2.0, donor, 1000.0, 150.0),), shard_mode="cross", shards=3
+    )
+    result = Scenario(cfg).run()
+    assert result.sent > 0
+
+
+def test_teleport_onto_exact_boundary_byte_identical():
+    """The node comes to rest exactly on a partition line — the
+    degenerate 'pausing on a boundary' position."""
+    cfg = _static_cfg(6)
+    boundary = 1200.0 / 3  # first partition line
+    cfg = replace(
+        cfg,
+        teleports=((1.5, 0, boundary, 150.0), (2.5, 1, 2 * boundary, 150.0)),
+        shard_mode="cross",
+        shards=3,
+    )
+    result = Scenario(cfg).run()
+    assert result.sent > 0
+
+
+def test_teleport_fork_transport_matches_single_engine():
+    """Same scenario through forked worker processes (the key codec
+    carries the teleport-bearing causal chains across pipes)."""
+    cfg = _static_cfg(5, teleports=((2.0, 0, 1000.0, 150.0),))
+    ref = Scenario(cfg).run()
+    got = Scenario(replace(cfg, shard_mode="on", shards=3)).run()
+    assert (got.sent, got.delivered, got.collisions, got.frames_on_air) == (
+        ref.sent,
+        ref.delivered,
+        ref.collisions,
+        ref.frames_on_air,
+    )
+
+
+def test_teleport_destination_widens_interval_before_jump():
+    """The owner's interest interval covers a scripted destination from
+    t=0 — transmissions near the landing spot mirror to the owner even
+    before the jump (jumps are not bounded drift)."""
+    cfg = _static_cfg(5)
+    positions = _positions(cfg)
+    part = ColumnPartition(0.0, cfg.width, 3)
+    donor = next(
+        i for i, p in enumerate(positions) if part.column_of(p.x) == 0
+    )
+    dest_x = 1100.0
+    cfg = replace(
+        cfg, teleports=((2.0, donor, dest_x, 150.0),), shard_mode="cross", shards=3
+    )
+    worker = ShardWorker(cfg, 0, capture_all=False)
+    intervals = worker.intervals()
+    lo, hi = intervals[0]
+    assert lo <= dest_x <= hi  # destination already inside, pre-jump
+    assert worker._teleport_nodes == frozenset({donor})
+
+
+# ------------------------------------------------- churn at a border band
+def test_churn_crashed_node_straddling_border_band():
+    """A node inside the border band (exposed to the neighbouring
+    shard's interest interval) crashes and recovers mid-run; carrier
+    sense, mirrored transmissions, and fault bookkeeping at the border
+    stay byte-identical."""
+    # Wide arena so border bands do NOT cover whole columns: interest
+    # pad is interference_range (550) + slack, columns are 1800 wide.
+    cfg = _static_cfg(7, width=3600.0, num_nodes=24, num_flows=10, num_senders=10)
+    positions = _positions(cfg)
+    part = ColumnPartition(0.0, cfg.width, 2)
+    band_lo = part.column_width - 600.0
+    band_hi = part.column_width + 600.0
+    straddlers = [
+        i for i, p in enumerate(positions) if band_lo <= p.x <= band_hi
+    ]
+    assert straddlers, "seed produced no border-band nodes; pick another"
+    plan = FaultPlan()
+    for nid in straddlers:
+        # Keep every recovery inside the run: events past sim_time
+        # never execute.
+        plan = plan.pause(nid, at=1.0 + 0.05 * nid, duration=0.5)
+    cfg = replace(cfg, fault_plan=plan, shard_mode="cross", shards=2)
+    result = Scenario(cfg).run()
+    assert result.fault_counters["crashes"] == len(straddlers)
+    assert result.fault_counters["recoveries"] == len(straddlers)
+
+
+def test_mobile_churn_border_byte_identical():
+    """Waypoint mobility + churn across every node: nodes drift through
+    partition lines while crashing and recovering."""
+    cfg = ScenarioConfig(
+        protocol="gpsr",
+        num_nodes=18,
+        width=1200.0,
+        height=300.0,
+        sim_time=4.0,
+        seed=9,
+        max_speed=20.0,
+        num_flows=8,
+        num_senders=8,
+        rate_pps=2.0,
+        traffic_start=(0.5, 1.5),
+        fault_plan=FaultPlan.churn(range(18), 4.0, seed=3, rate=1.0),
+        shard_mode="cross",
+        shards=3,
+    )
+    result = Scenario(cfg).run()
+    assert result.sent > 0
+    assert result.fault_counters["crashes"] > 0

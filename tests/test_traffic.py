@@ -105,6 +105,48 @@ def test_workload_deterministic():
     assert a == b
 
 
+def test_workload_locality_draws_near_destinations():
+    ids = list(range(20))
+    identities = [f"node-{i}" for i in ids]
+    positions = [(100.0 * i, 0.0) for i in ids]
+    flows = make_flows(
+        ids, identities, 30, 10, random.Random(3),
+        positions=positions, locality=250.0,
+    )
+    index = {f"node-{i}": i for i in ids}
+    assert len(flows) == 30
+    for flow in flows:
+        dst = index[flow.dest_identity]
+        assert dst != flow.src_node_id
+        assert abs(positions[dst][0] - positions[flow.src_node_id][0]) <= 250.0
+
+
+def test_workload_locality_fallback_keeps_flow_count():
+    """A sender with no neighbour in range still gets a (distant) flow."""
+    ids = list(range(6))
+    identities = [f"node-{i}" for i in ids]
+    positions = [(10_000.0 * i, 0.0) for i in ids]  # spacing >> locality
+    flows = make_flows(
+        ids, identities, 12, 6, random.Random(4),
+        positions=positions, locality=500.0,
+    )
+    assert len(flows) == 12
+    for flow in flows:
+        assert flow.dest_identity != f"node-{flow.src_node_id}"
+
+
+def test_workload_locality_requires_positions():
+    ids = list(range(10))
+    identities = [f"node-{i}" for i in ids]
+    with pytest.raises(ValueError):
+        make_flows(ids, identities, 5, 5, random.Random(0), locality=100.0)
+    with pytest.raises(ValueError):
+        make_flows(
+            ids, identities, 5, 5, random.Random(0),
+            positions=[(0.0, 0.0)], locality=100.0,  # wrong length
+        )
+
+
 # ------------------------------------------------------------------- oracle
 def test_oracle_lookup_exact():
     net = build_static_net(line_positions(3), protocol="gpsr")
