@@ -55,6 +55,12 @@ DET-014     nondeterministic multiprocessing patterns under the sharded
             (``os.getpid()``) or wall timers leaking into simulation
             state, and iteration over sets that crossed a pickle
             boundary (worker pipes, queues)
+DET-015     writes to shared-memory-backed arrays — ``np.ndarray``
+            views over a ``SharedMemory`` buffer, aliases of them, and
+            the ``ShardPlane._fields``/``_epochs`` internals — anywhere
+            but ``ShardPlane.__init__``/``publish_legs``: the
+            epoch-barrier publication helper is the only write site
+            whose ordering the shard protocol proves race-free
 ==========  ===========================================================
 
 DET-009 only fires when the engine runs interprocedurally (it needs the
@@ -84,6 +90,7 @@ __all__ = [
     "UnsortedFilesystemEnumeration",
     "NumpyDeterminismEscape",
     "MultiprocessingOrderEscape",
+    "SharedPlaneWriteEscape",
 ]
 
 #: ``random`` module functions that draw from (or reseed) the global stream.
@@ -1467,3 +1474,202 @@ class MultiprocessingOrderEscape(Rule):
             return False
         target = _resolve_call_target(module, value.func)
         return target is not None and target[0] == "time" and target[1] in _WALL_TIMERS
+
+
+#: ``ShardPlane`` internals: a subscript store through
+#: ``<...>plane._fields[...]`` / ``._epochs[...]`` is a plane write even
+#: in modules that never constructed the views themselves.
+_PLANE_INTERNALS = frozenset({"_fields", "_epochs"})
+
+#: Symbol-name hint marking an object as a shard plane (``plane``,
+#: ``self.plane``, ``shard_plane`` ...) for the attribute-chain check.
+_PLANE_NAME_HINT = re.compile(r"plane", re.IGNORECASE)
+
+#: ndarray methods that mutate the array in place.
+_NDARRAY_MUTATORS = frozenset({"fill", "sort", "partition", "put", "itemset", "resize"})
+
+
+@register
+class SharedPlaneWriteEscape(Rule):
+    """DET-015: shared-memory array writes outside the publication helper.
+
+    The shared position plane (:mod:`repro.sim.shard.shmplane`) is
+    race-free by *protocol*, not by locking: shard ``i`` writes only its
+    owned rows, only from :meth:`ShardPlane.publish_legs`, strictly
+    before sending its round reply, and the coordinator reads only after
+    receiving that reply — the pipe message is the happens-before edge.
+    A write from any other site has no such edge; it can interleave with
+    a coordinator read (torn position resolution, silent trace
+    divergence) or with another shard's publication.  Flagged shapes:
+
+    * a subscript store / augmented store into an ``np.ndarray`` view
+      constructed over a shared buffer (``np.ndarray(..., buffer=...)``),
+      into an alias of one, or into a container that holds them;
+    * the same store through :class:`ShardPlane` internals reached from
+      outside — ``plane._fields["ox"][ids] = ...`` or
+      ``self.plane._epochs[i] = ...``;
+    * in-place ndarray mutators (``.fill``/``.sort``/``.put``...) and
+      ``np.copyto(dst, ...)`` aimed at any of the above.
+
+    The two sanctioned sites are ``ShardPlane.__init__`` (pre-fork
+    initialisation — no reader exists yet) and
+    ``ShardPlane.publish_legs`` (the epoch-barrier helper).  Everything
+    else must hand rows to ``publish_legs`` instead.
+    """
+
+    id = "DET-015"
+    name = "shared-plane-write-escape"
+    rationale = (
+        "The shared position plane is race-free only because every write "
+        "goes through the epoch-barrier publication helper before the "
+        "worker's round reply; a write anywhere else has no "
+        "happens-before edge to the coordinator's reads and can tear a "
+        "position resolution or desynchronize shards."
+    )
+    exempt_paths = ("tests/*", "test_*.py", "conftest.py")
+
+    _SANCTUARY_CLASS = "ShardPlane"
+    _SANCTUARY_FUNCS = frozenset({"__init__", "publish_legs"})
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Finding]:
+        backed, containers = self._shm_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            targets: Tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.Assign):
+                targets = tuple(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                if self._is_plane_expr(target.value, backed, containers):
+                    if not self._in_sanctuary(module, node):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"write to shared-memory-backed array "
+                            f"'{self._label(target.value)}' outside "
+                            "ShardPlane.publish_legs; plane rows may only "
+                            "be published through the epoch-barrier helper",
+                        )
+                    break
+            if not isinstance(node, ast.Call):
+                continue
+            victim: Optional[ast.AST] = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _NDARRAY_MUTATORS
+                and self._is_plane_expr(node.func.value, backed, containers)
+            ):
+                victim = node.func.value
+            elif (
+                _terminal_identifier(node.func) == "copyto"
+                and node.args
+                and self._is_plane_expr(node.args[0], backed, containers)
+            ):
+                victim = node.args[0]
+            if victim is not None and not self._in_sanctuary(module, node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"in-place mutation of shared-memory-backed array "
+                    f"'{self._label(victim)}' outside "
+                    "ShardPlane.publish_legs; plane rows may only be "
+                    "published through the epoch-barrier helper",
+                )
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _shm_symbols(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+        """``(backed, containers)`` symbol keys, to an alias fixpoint.
+
+        ``backed`` holds symbols bound to an ndarray view over a shared
+        buffer (``np.ndarray(..., buffer=...)``) or aliased from one;
+        ``containers`` holds symbols that had a backed value stored under
+        a subscript (``self._fields[field] = view``) or were aliased
+        from such a container (``fields = self._fields``).
+        """
+        backed: Set[str] = set()
+        containers: Set[str] = set()
+        for _ in range(4):  # alias chains are short; 4 passes reach fixpoint
+            grew = len(backed) + len(containers)
+            for node in ast.walk(tree):
+                targets: Tuple[ast.AST, ...] = ()
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = tuple(node.targets), node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = (node.target,), node.value
+                if value is None:
+                    continue
+                value_key = _symbol_key(value)
+                is_view = (
+                    isinstance(value, ast.Call)
+                    and _terminal_identifier(value.func) == "ndarray"
+                    and any(kw.arg == "buffer" for kw in value.keywords)
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        # ``cont[key] = view`` marks ``cont`` as a container.
+                        cont_key = _symbol_key(target.value)
+                        if cont_key is not None and (
+                            is_view or (value_key is not None and value_key in backed)
+                        ):
+                            containers.add(cont_key)
+                        continue
+                    key = _symbol_key(target)
+                    if key is None:
+                        continue
+                    if is_view or (value_key is not None and value_key in backed):
+                        backed.add(key)
+                    elif value_key is not None and value_key in containers:
+                        containers.add(key)
+            if len(backed) + len(containers) == grew:
+                break
+        return backed, containers
+
+    @staticmethod
+    def _is_plane_expr(expr: ast.AST, backed: Set[str], containers: Set[str]) -> bool:
+        """Is ``expr`` a shared-memory-backed array (or a row of one)?"""
+        while isinstance(expr, ast.Subscript):
+            base_key = _symbol_key(expr.value)
+            if base_key is not None and base_key in containers:
+                return True
+            expr = expr.value
+        # A bare container symbol is the dict *holding* views, not a
+        # view: ``cont[k] = view`` is a dict store and passes; only a
+        # deeper subscript (``cont[k][ids] = ...``) reaches the array.
+        key = _symbol_key(expr)
+        if key is not None and key in backed:
+            return True
+        # ShardPlane internals reached from outside the class:
+        # ``plane._fields`` / ``self.plane._epochs``.
+        if isinstance(expr, ast.Attribute) and expr.attr in _PLANE_INTERNALS:
+            root = expr.value
+            label = _symbol_key(root) or _terminal_identifier(root) or ""
+            if isinstance(root, ast.Attribute) and _symbol_key(root) is None:
+                label = root.attr
+            return bool(_PLANE_NAME_HINT.search(label))
+        return False
+
+    def _in_sanctuary(self, module: ModuleContext, node: ast.AST) -> bool:
+        """Is ``node`` inside ``ShardPlane.__init__``/``publish_legs``?"""
+        func: Optional[ast.AST] = None
+        cur: Optional[ast.AST] = node
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)) and func is None:
+                func = cur
+            elif isinstance(cur, ast.ClassDef):
+                return (
+                    func is not None
+                    and cur.name == self._SANCTUARY_CLASS
+                    and func.name in self._SANCTUARY_FUNCS
+                )
+            cur = module.parent_of(cur)
+        return False
+
+    @staticmethod
+    def _label(expr: ast.AST) -> str:
+        while isinstance(expr, ast.Subscript):
+            expr = expr.value
+        return _symbol_key(expr) or _terminal_identifier(expr) or "<array>"

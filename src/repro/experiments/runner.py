@@ -95,6 +95,19 @@ def main(argv: list[str] | None = None) -> int:
         "machine (shards win — a sharded run is one coherent unit)",
     )
     parser.add_argument(
+        "--shard-adaptive",
+        action="store_true",
+        help="rebalance column boundaries from a calibration prefix "
+        "(deterministic per-shard executed-event counts) before the "
+        "real run; output is byte-identical either way",
+    )
+    parser.add_argument(
+        "--shard-legacy-rounds",
+        action="store_true",
+        help="use the pre-piggybacking split promise/execute rounds "
+        "(twice the IPC messages per round; debugging/reference only)",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         type=int,
@@ -207,6 +220,8 @@ def _run_experiments(args, sim_time: float, counts: tuple, churn) -> None:
                 pool_mode=args.pool,
                 shard_mode=args.shard_mode,
                 shards=args.shards,
+                shard_adaptive=args.shard_adaptive,
+                shard_piggyback=not args.shard_legacy_rounds,
                 loss_model=args.loss_model,
                 loss_rate=args.loss_rate,
             ),
@@ -249,6 +264,8 @@ def _run_experiments(args, sim_time: float, counts: tuple, churn) -> None:
                 pool_mode=args.pool,
                 shard_mode=args.shard_mode,
                 shards=args.shards,
+                shard_adaptive=args.shard_adaptive,
+                shard_piggyback=not args.shard_legacy_rounds,
             ),
         )
         print(format_faults_sweep(fault_points))

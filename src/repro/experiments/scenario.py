@@ -92,6 +92,30 @@ class ScenarioConfig:
     shard_mode: str = "off"
     # Number of column shards when shard_mode != "off".
     shards: int = 2
+    # Keyed-engine queue backend inside shard workers: "slim" (timer
+    # wheel + per-actor append lists — one bucket append per schedule)
+    # or "threeheap" (the original three-heap reference; identical pop
+    # order and traces, kept for the churn-equivalence proof).
+    keyed_queue: str = "slim"
+    # Fold promise announcements into execute replies (one IPC round
+    # trip per steady-state round instead of two).  Trace-invariant;
+    # False selects the legacy split promise/execute rounds.
+    shard_piggyback: bool = True
+    # Shared-memory position plane: workers publish owned leg arrays at
+    # each barrier and ghost positions cross the pipes NaN-compressed.
+    # Trace-invariant; auto-disabled without numpy or the array index.
+    shard_plane: bool = True
+    # Explicit inner column boundaries (shards - 1 strictly increasing
+    # x positions), e.g. from committed calibration stats.  None keeps
+    # equal-width columns.  Trace-invariant: ownership moves between
+    # shards but the merged trace is a pure function of config + seed.
+    shard_boundaries: Optional[tuple] = None
+    # Derive boundaries automatically from a calibration prefix run
+    # (per-shard executed-event counts — deterministic, unlike busy CPU
+    # seconds), then rebuild and run from t=0 with the derived splits.
+    shard_adaptive: bool = False
+    # Fraction of sim_time the calibration prefix covers.
+    shard_calibration: float = 0.1
 
     # Mobility (paper defaults); static=True pins nodes for debugging.
     min_speed: float = 1.0
@@ -194,6 +218,8 @@ class ScenarioConfig:
                     raise ValueError(f"teleport time must be >= 0: {entry}")
                 if not (0 <= node_id < self.num_nodes):
                     raise ValueError(f"teleport targets unknown node: {entry}")
+        if self.keyed_queue not in ("slim", "threeheap"):
+            raise ValueError("keyed_queue must be 'slim' or 'threeheap'")
         if self.shard_mode != "off":
             if self.shards < 1:
                 raise ValueError("shards must be >= 1")
@@ -201,6 +227,17 @@ class ScenarioConfig:
                 # The sniffer subscribes to one process's tracer; a merged
                 # multi-engine trace has no single live stream to tap.
                 raise ValueError("with_sniffer is incompatible with shard_mode != 'off'")
+            if not 0.0 <= self.shard_calibration <= 1.0:
+                raise ValueError("shard_calibration must be within [0, 1]")
+            if self.shard_boundaries is not None:
+                # Delegate shape/ordering checks to the partition (the
+                # authority on split geometry) so configs fail fast.
+                from repro.geo.partition import ColumnPartition
+
+                ColumnPartition(
+                    0.0, self.width, self.shards,
+                    boundaries=tuple(self.shard_boundaries),
+                )
 
 
 @dataclass

@@ -20,10 +20,11 @@ column geometry.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ColumnPartition", "Interval"]
+__all__ = ["ColumnPartition", "Interval", "rebalanced_boundaries"]
 
 #: An inclusive x-range; ``None`` marks an empty interval (no nodes).
 Interval = Optional[Tuple[float, float]]
@@ -31,17 +32,42 @@ Interval = Optional[Tuple[float, float]]
 
 @dataclass(frozen=True)
 class ColumnPartition:
-    """``shards`` equal-width vertical columns over ``[x0, x0 + width]``."""
+    """``shards`` vertical columns over ``[x0, x0 + width]``.
+
+    By default the columns are equal width.  ``boundaries`` — the
+    ``shards - 1`` *inner* split positions, strictly increasing and
+    strictly inside the arena — overrides the geometry with explicit
+    (e.g. load-rebalanced) splits without changing any of the interval
+    machinery: ownership is still "the column containing the node at
+    t=0", and interest intervals track actual node extents, never the
+    column edges.
+    """
 
     x0: float
     width: float
     shards: int
+    boundaries: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.width <= 0:
             raise ValueError(f"width must be positive, got {self.width}")
+        if self.boundaries is not None:
+            cuts = tuple(float(b) for b in self.boundaries)
+            if len(cuts) != self.shards - 1:
+                raise ValueError(
+                    f"{self.shards} shards need {self.shards - 1} inner "
+                    f"boundaries, got {len(cuts)}"
+                )
+            lo, hi = self.x0, self.x0 + self.width
+            for prev, cut in zip((lo,) + cuts, cuts):
+                if not (lo < cut < hi) or cut <= prev:
+                    raise ValueError(
+                        f"boundaries must be strictly increasing inside "
+                        f"({lo}, {hi}), got {cuts}"
+                    )
+            object.__setattr__(self, "boundaries", cuts)
 
     @property
     def column_width(self) -> float:
@@ -49,6 +75,9 @@ class ColumnPartition:
 
     def column_of(self, x: float) -> int:
         """Shard index owning position ``x`` (clamped at the arena edges)."""
+        cuts = self.boundaries
+        if cuts is not None:
+            return bisect_right(cuts, x)
         idx = int((x - self.x0) / self.column_width)
         if idx < 0:
             return 0
@@ -58,6 +87,11 @@ class ColumnPartition:
 
     def column_bounds(self, index: int) -> Tuple[float, float]:
         """``[lo, hi)`` x-range of column ``index``."""
+        cuts = self.boundaries
+        if cuts is not None:
+            lo = self.x0 if index == 0 else cuts[index - 1]
+            hi = self.x0 + self.width if index == self.shards - 1 else cuts[index]
+            return (lo, hi)
         lo = self.x0 + index * self.column_width
         return (lo, lo + self.column_width)
 
@@ -102,3 +136,71 @@ class ColumnPartition:
     @staticmethod
     def in_interval(x: float, interval: Interval) -> bool:
         return interval is not None and interval[0] <= x <= interval[1]
+
+
+def rebalanced_boundaries(
+    x0: float,
+    width: float,
+    shards: int,
+    loads: Sequence[float],
+    *,
+    min_fraction: float = 0.1,
+    quantum: float = 1e-6,
+) -> Tuple[float, ...]:
+    """Load-equalizing inner split positions from per-column load stats.
+
+    ``loads[i]`` is the measured load of the *current* equal-width
+    column ``i`` (the driver feeds executed-event counts of a
+    calibration round — a deterministic function of config + seed,
+    unlike busy CPU seconds).  Load is modelled as uniform within each
+    measured column; the returned ``shards - 1`` cuts place an equal
+    share of the total load in every new column, clamped so no column
+    shrinks below ``min_fraction`` of the equal-width size.
+
+    Determinism: the result is a pure function of the arguments, and
+    every cut is quantized to ``quantum`` metres so that the boundary
+    values survive a round-trip through config serialization exactly.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if len(loads) != shards:
+        raise ValueError(f"need one load per column, got {len(loads)} for {shards}")
+    if any(load < 0 for load in loads):
+        raise ValueError(f"loads must be non-negative, got {list(loads)}")
+    if shards == 1:
+        return ()
+    column = width / shards
+    total = float(sum(loads))
+    if total <= 0.0:
+        # Nothing measured: keep the equal-width geometry.
+        return tuple(
+            round((x0 + column * k) / quantum) * quantum for k in range(1, shards)
+        )
+    # Walk the piecewise-constant cumulative load, cutting at each k/N
+    # share.  ``prefix[i]`` is the load strictly left of column i.
+    prefix = [0.0]
+    for load in loads:
+        prefix.append(prefix[-1] + float(load))
+    cuts: List[float] = []
+    floor = column * min_fraction
+    prev = x0
+    for k in range(1, shards):
+        target = total * (k / shards)
+        # Column containing the target share.
+        i = 0
+        while i < shards - 1 and prefix[i + 1] < target:
+            i += 1
+        load_i = float(loads[i])
+        frac = 0.5 if load_i <= 0.0 else (target - prefix[i]) / load_i
+        cut = x0 + column * (i + frac)
+        # Clamp: leave at least ``floor`` width on both sides, including
+        # the remaining columns to the right.
+        lo = prev + floor
+        hi = x0 + width - floor * (shards - k)
+        cut = min(max(cut, lo), hi)
+        cut = round(cut / quantum) * quantum
+        if cut <= prev:
+            cut = round((prev + floor) / quantum) * quantum
+        cuts.append(cut)
+        prev = cut
+    return tuple(cuts)

@@ -59,13 +59,24 @@ earliest future transmission ("promise").  The keyed engine maintains:
 * ``_tx_watch`` — pending MAC events that transmit *at their own fire
   time* (``mac.difs`` / ``mac.slot`` / ``mac.sifs_resp`` /
   ``mac.sifs_data``); their exact keys bound imminent transmissions.
-* per-actor min-heaps of pending event times — any other event at node
+* per-actor indexes of pending events — any other event at node
   ``n`` can create a transmission no earlier than ``SIFS`` after it
   fires, so ``min_pending(n) + SIFS`` bounds everything else.  Events
   tagged :data:`~repro.sim.engine.PURE_ACTOR` (mobility rolls, table
   purges) never transmit and are skipped; :data:`~repro.sim.engine.
   MEDIUM_ACTOR` events (``phy.tx_end`` fan-outs touching many nodes)
   are tracked by the shard worker's in-flight list instead.
+
+Queue modes
+-----------
+``queue_mode="slim"`` (the default) pairs the timer-wheel main queue
+with plain per-actor append lists: scheduling costs one wheel bucket
+append plus one list append instead of three heap pushes, and the
+promise scan pays an O(live) sweep per actor — a fine trade because
+promise rounds are rare (a handful per run) while schedules number in
+the millions.  ``queue_mode="threeheap"`` preserves the original
+heap-backed implementation byte for byte and exists as the reference
+for the churn-equivalence tests.
 
 Actor attribution is mostly **inherited**: an event scheduled while node
 ``n``'s code runs (the executing event's actor is ``n``, or the medium
@@ -87,7 +98,7 @@ from repro.sim.engine import (
     Simulator,
 )
 
-__all__ = ["KeyedSimulator", "TX_EVENT_NAMES", "CausalKey"]
+__all__ = ["KeyedSimulator", "TX_EVENT_NAMES", "CausalKey", "key_cmp", "key_min"]
 
 #: Event names whose execution calls ``phy.transmit`` directly (the only
 #: four sites in the MAC that do — see ``repro.net.mac.dcf``).  Every
@@ -98,20 +109,84 @@ TX_EVENT_NAMES = frozenset({"mac.difs", "mac.slot", "mac.sifs_resp", "mac.sifs_d
 CausalKey = Tuple[float, int, tuple]
 
 
+def key_cmp(a, b) -> int:
+    """Compare two causal keys without recursion: -1, 0, or 1.
+
+    Exactly Python's tuple comparison semantics (the order every proof
+    in this module is stated in), computed with an explicit stack.  The
+    native comparison recurses one C frame per chain link, and causal
+    chains grow without bound over a run — periodic timers and MAC slot
+    ladders on the shared 802.11 slot grid produce *time-locked* chains
+    in different shards whose comparison only resolves at the root, so
+    a long run overflows the interpreter recursion limit precisely on
+    the coordination comparisons (horizon checks, promise mins, record
+    merges) that put two different shards' deep keys side by side.
+    Every such cross-chain comparison site routes through here; the
+    scheduler's internal pushes keep native comparisons, where one
+    operand is local and ties resolve shallowly.
+    """
+    if a is b:
+        return 0
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        x_tuple = type(x) is tuple
+        if x_tuple and type(y) is tuple:
+            nx, ny = len(x), len(y)
+            if nx != ny:
+                # Lexicographic: common prefix decides first, then the
+                # length tiebreak (pushed deepest so it compares last).
+                stack.append((nx, ny))
+                n = nx if nx < ny else ny
+            else:
+                n = nx
+            for i in range(n - 1, -1, -1):
+                stack.append((x[i], y[i]))
+            continue
+        if x_tuple or type(y) is tuple:
+            raise TypeError(
+                f"malformed causal key: tuple compared against "
+                f"{type(y if x_tuple else x).__name__}"
+            )
+        if x == y:
+            continue
+        return -1 if x < y else 1
+    return 0
+
+
+def key_min(keys) -> Optional[CausalKey]:
+    """Minimum of an iterable of causal keys under :func:`key_cmp`."""
+    best = None
+    for key in keys:
+        if best is None or key_cmp(key, best) < 0:
+            best = key
+    return best
+
+
 class KeyedSimulator(Simulator):
     """Drop-in :class:`Simulator` whose tie-break is the causal key.
 
     Pop order is identical to the plain engine (the ordering theorem in
     the module docstring); what changes is that the tie-break is
-    computable by any shard that executes a subset of the events.  The
-    heap backend is forced: the wheel's near-window buckets order
-    same-bucket entries by the numeric sequence number, which no longer
-    exists here (PR 4 proved heap == wheel pop order, so trace
-    equivalence against any single-engine backend still holds).
+    computable by any shard that executes a subset of the events.  Both
+    scheduler backends are valid under causal keys: the wheel's buckets
+    and ready heap order entries by the *full* ``(time, priority, ckey)``
+    tuple, and keys are unique, so wheel pop order equals heap pop order
+    exactly as PR 4 proved for numeric sequence numbers (the argument is
+    tie-break-agnostic — it only needs a total order whose first
+    component is the fire time).
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
-        super().__init__(start_time, scheduler_mode="heap")
+    def __init__(self, start_time: float = 0.0, queue_mode: str = "slim") -> None:
+        if queue_mode not in ("slim", "threeheap"):
+            raise ValueError(f"unknown keyed queue mode {queue_mode!r}")
+        self._slim = queue_mode == "slim"
+        super().__init__(
+            start_time, scheduler_mode="wheel" if self._slim else "heap"
+        )
+        self._queue_mode = queue_mode
         self._build_count = 0
         self._build_emit_count = 0
         self._exec_key: Optional[CausalKey] = None
@@ -121,10 +196,12 @@ class KeyedSimulator(Simulator):
         self._scope_count = 0
         self._emit_count = 0
         self._suppress_depth = 0
-        # Promise bookkeeping (lazily pruned).
+        # Promise bookkeeping (lazily pruned).  In slim mode the indexes
+        # hold bare Events (append-only, swept on scan); in threeheap
+        # mode they are min-heaps of (time, seq, Event) tuples.
         self._tx_watch: List[Event] = []
-        self._actor_heaps: Dict[int, List[Tuple[float, int, Event]]] = {}
-        self._untracked_heap: List[Tuple[float, int, Event]] = []
+        self._actor_index: Dict[int, list] = {}
+        self._untracked_index: list = []
 
     # ------------------------------------------------------------- scheduling
     def schedule_at(
@@ -172,12 +249,20 @@ class KeyedSimulator(Simulator):
         self._live += 1
         if name in TX_EVENT_NAMES:
             self._tx_watch.append(event)
-        if actor is None:
-            heapq.heappush(self._untracked_heap, (time, self._seq, event))
+        if self._slim:
+            if actor is None:
+                self._untracked_index.append(event)
+            elif actor >= 0:
+                index = self._actor_index.get(actor)
+                if index is None:
+                    index = self._actor_index[actor] = []
+                index.append(event)
+        elif actor is None:
+            heapq.heappush(self._untracked_index, (time, self._seq, event))
         elif actor >= 0:
-            heap = self._actor_heaps.get(actor)
+            heap = self._actor_index.get(actor)
             if heap is None:
-                heap = self._actor_heaps[actor] = []
+                heap = self._actor_index[actor] = []
             heapq.heappush(heap, (time, self._seq, event))
         return event
 
@@ -328,31 +413,61 @@ class KeyedSimulator(Simulator):
             keep.append(ev)
             if relevant(ev.actor):
                 key = ev.key
-                if best is None or key < best:
+                # key_cmp: two watched transmit sites can ride
+                # time-locked slot ladders whose native comparison
+                # walks to the chain roots.
+                if best is None or key_cmp(key, best) < 0:
                     best = key
         self._tx_watch = keep
         return best
 
-    def actor_next_time(self, actor: int) -> Optional[float]:
-        """Earliest pending event time attributed to ``actor`` (lazy prune)."""
-        heap = self._actor_heaps.get(actor)
-        if not heap:
-            return None
-        while heap:
-            time, _seq, ev = heap[0]
+    @staticmethod
+    def _sweep_min_time(index: list) -> Optional[float]:
+        """Min fire time over a slim index, compacting dead entries."""
+        best: Optional[float] = None
+        keep: list = []
+        append = keep.append
+        for ev in index:
             if ev.cancelled:
-                heapq.heappop(heap)
+                continue
+            append(ev)
+            time = ev.time
+            if best is None or time < best:
+                best = time
+        if len(keep) != len(index):
+            index[:] = keep
+        return best
+
+    def actor_next_time(self, actor: int) -> Optional[float]:
+        """Earliest pending event time attributed to ``actor``.
+
+        Slim mode sweeps (and compacts) the actor's append list;
+        threeheap mode lazily prunes the heap head.  Promise scans are
+        rare enough that the O(live) sweep is cheaper than having paid
+        a heap push on every schedule.
+        """
+        index = self._actor_index.get(actor)
+        if not index:
+            return None
+        if self._slim:
+            return self._sweep_min_time(index)
+        while index:
+            time, _seq, ev = index[0]
+            if ev.cancelled:
+                heapq.heappop(index)
             else:
                 return time
         return None
 
     def untracked_next_time(self) -> Optional[float]:
-        """Earliest pending event with no actor attribution (lazy prune)."""
-        heap = self._untracked_heap
-        while heap:
-            time, _seq, ev = heap[0]
+        """Earliest pending event with no actor attribution."""
+        index = self._untracked_index
+        if self._slim:
+            return self._sweep_min_time(index)
+        while index:
+            time, _seq, ev = index[0]
             if ev.cancelled:
-                heapq.heappop(heap)
+                heapq.heappop(index)
             else:
                 return time
         return None

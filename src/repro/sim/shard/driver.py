@@ -18,6 +18,22 @@ inline objects for ``shard_mode="cross"``, forked processes for
    the process transport) and return outgoing ghosts, which the
    coordinator routes to their target shards for the next round.
 
+Promise piggybacking
+--------------------
+With ``shard_piggyback`` (the default) the promise is folded into the
+execute reply: one bootstrap promise round, then every round is a
+single request (horizon + ghosts to deliver) and a single reply
+(ghosts produced + the post-window promise) — 2 IPC messages per shard
+per round instead of the legacy 4.  The piggybacked promise is computed
+*before* the next round's ghosts are delivered, so the coordinator
+compensates: a pending ghost can only *defer* the receiver's existing
+events (channel-busy backoff) or trigger SIFS-spaced responses to its
+mirrored completion, never create anything earlier, so
+``min(promise, (g.resume, floor-priority))`` over the shard's pending
+ghosts is a sound effective promise, and ``min(peek, g.start)`` the
+effective queue floor.  Legacy split rounds remain available as
+``shard_piggyback=False`` (and as the churn-tested reference).
+
 Soundness: a shard's promise is a true lower bound (the MAC creates
 every transmit site at least SIFS ahead — see :mod:`repro.sim.shard.
 worker`), so every ghost produced in a round carries a key at or beyond
@@ -26,7 +42,10 @@ receiver's future, never its past (:meth:`KeyedSimulator.insert_ghost`
 enforces this as a hard error).  Progress: the shard holding the
 globally minimal pending key always finds every foreign promise
 strictly beyond it (keys are unique; time floors add SIFS), so at least
-one event executes per round.
+one event executes per round — under piggybacking a round may instead
+only *deliver* pending ghosts (their resume floors then dissolve into
+ordinary ghost-aware promises), so a stall is only declared when
+nothing executed *and* nothing was delivered.
 
 ``shard_mode="cross"`` additionally runs the unmodified single engine
 on the same config and compares the merged shard trace record-by-record
@@ -38,16 +57,21 @@ at the first divergence.
 from __future__ import annotations
 
 import gc
+import math
 import multiprocessing
 import os
+import pickle
 import time as _wall
 import traceback
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.geo.partition import rebalanced_boundaries
+from repro.sim.keyed import key_min
 from repro.sim.shard import ShardCoherenceError
 from repro.sim.shard.keycodec import KeyCodec
 from repro.sim.shard.merge import merge_records, merge_results
+from repro.sim.shard.shmplane import ShardPlane, plane_supported
 from repro.sim.shard.worker import (
     GhostTx,
     INF_KEY,
@@ -111,9 +135,13 @@ def _unpack_ghosts(codec: KeyCodec, table, packed) -> List[GhostTx]:
 class _InlineHandle:
     """Same-process worker (cross mode, tests): calls are synchronous."""
 
-    def __init__(self, config, shard_index: int, capture_all: bool) -> None:
-        self.worker = ShardWorker(config, shard_index, capture_all)
+    def __init__(
+        self, config, shard_index: int, capture_all: bool, plane=None
+    ) -> None:
+        self.shard_index = shard_index
+        self.worker = ShardWorker(config, shard_index, capture_all, plane=plane)
         self.worker.start()
+        self.ipc_bytes = 0  # inline transport: nothing crosses a pipe
         self._reply: object = None
 
     def send_promise(self, ghosts: Sequence[GhostTx]) -> None:
@@ -127,7 +155,15 @@ class _InlineHandle:
         self._reply = self.worker.execute_window(horizon)
 
     def recv_execute(self):
-        return self._reply
+        executed, busy, out = self._reply
+        return executed, busy, out, self.worker.plane_epoch
+
+    def send_round(self, horizon, ghosts: Sequence[GhostTx]) -> None:
+        self._reply = self.worker.execute_round(horizon, ghosts)
+
+    def recv_round(self):
+        executed, busy, out, peek, key = self._reply
+        return executed, busy, out, self.worker.plane_epoch, peek, key
 
     def finish(self, until: float) -> ShardResult:
         return self.worker.finish(until)
@@ -136,16 +172,20 @@ class _InlineHandle:
         pass
 
 
-def _worker_main(conn, config, shard_index: int, capture_all: bool) -> None:
+def _worker_main(conn, config, shard_index: int, capture_all: bool, plane) -> None:
     """Entry point of a forked shard process: build, then serve rounds.
 
     Every key-bearing payload crosses the pipe codec-flattened (ghost
     start/finish keys, the promise key, the execute horizon, and each
     record's merge key) — naive pickling of the deeply nested causal
-    keys recurses past the interpreter limit.
+    keys recurses past the interpreter limit.  Payloads travel as
+    explicit pickled byte blobs so the coordinator can meter IPC bytes
+    exactly; the ``plane`` object is inherited through fork (never
+    pickled), so child processes share the parent's mapping without
+    re-registering the segment.
     """
     try:
-        worker = ShardWorker(config, shard_index, capture_all)
+        worker = ShardWorker(config, shard_index, capture_all, plane=plane)
         worker.start()
         # The child inherits the parent's entire heap via fork, and the
         # freshly built scenario graph is live for the whole run.  Move
@@ -162,32 +202,57 @@ def _worker_main(conn, config, shard_index: int, capture_all: bool) -> None:
         gc.set_threshold(200_000, 50, 50)
         codec = KeyCodec()
         while True:
-            kind, payload = conn.recv()
+            kind, payload = pickle.loads(conn.recv_bytes())
             if kind == "promise":
                 table, packed = payload
                 worker.deliver_ghosts(_unpack_ghosts(codec, table, packed))
                 peek, key = worker.promise()
                 idx = codec.encode(key)
-                conn.send(("ok", (codec.flush(), peek, idx)))
+                reply = ("ok", (codec.flush(), peek, idx))
             elif kind == "execute":
                 table, idx = payload
                 codec.extend(table)
                 executed, busy, out = worker.execute_window(codec.decode(idx))
                 gtable, packed = _pack_ghosts(codec, out)
-                conn.send(("ok", (gtable, executed, busy, packed)))
+                reply = (
+                    "ok", (gtable, executed, busy, packed, worker.plane_epoch)
+                )
+            elif kind == "round":
+                table, idx, packed_in = payload
+                codec.extend(table)
+                executed, busy, out, peek, key = worker.execute_round(
+                    codec.decode(idx), _unpack_ghosts(codec, (), packed_in)
+                )
+                kidx = codec.encode(key)
+                gtable, packed = _pack_ghosts(codec, out)
+                reply = (
+                    "ok",
+                    (
+                        gtable,
+                        executed,
+                        busy,
+                        packed,
+                        worker.plane_epoch,
+                        peek,
+                        kidx,
+                    ),
+                )
             elif kind == "finish":
                 result = worker.finish(payload)
                 result.records = [
                     replace(r, key=codec.encode(r.key)) for r in result.records
                 ]
-                conn.send(("ok", (codec.flush(), result)))
+                reply = ("ok", (codec.flush(), result))
             elif kind == "stop":
                 return
+            else:  # pragma: no cover - protocol partner is this module
+                raise RuntimeError(f"unknown shard request {kind!r}")
+            conn.send_bytes(pickle.dumps(reply))
     except EOFError:  # coordinator died; nothing to report to
         return
     except Exception:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send_bytes(pickle.dumps(("error", traceback.format_exc())))
         except (BrokenPipeError, OSError):
             pass
 
@@ -197,34 +262,52 @@ class _ProcHandle:
 
     Promise and execute requests are sent to *all* shards before any
     reply is awaited, so shard windows genuinely overlap in wallclock.
+    Every payload is an explicit pickled blob, which is what lets the
+    handle meter IPC bytes exactly (``shard_stats`` observability).
     """
 
     def __init__(
-        self, ctx, config, shard_index: int, capture_all: bool, intern: dict
+        self, ctx, config, shard_index: int, capture_all: bool, intern: dict,
+        plane=None,
     ) -> None:
+        self.shard_index = shard_index
         parent, child = ctx.Pipe()
         self.conn = parent
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child, config, shard_index, capture_all),
+            args=(child, config, shard_index, capture_all, plane),
             daemon=True,
         )
         self.proc.start()
         child.close()
+        self.ipc_bytes = 0
         # The intern dict is shared across every shard's codec so that
         # mirrored keys from different shards unify to identical objects
         # (keeps the merge's key comparisons shallow via the identity
         # shortcut instead of walking deep equal chains).
         self._codec = KeyCodec(intern)
 
+    def _send(self, message) -> None:
+        blob = pickle.dumps(message)
+        self.ipc_bytes += len(blob)
+        self.conn.send_bytes(blob)
+
     def _recv(self):
-        kind, payload = self.conn.recv()
+        try:
+            blob = self.conn.recv_bytes()
+        except EOFError:
+            raise ShardCoherenceError(
+                f"shard worker {self.shard_index} terminated mid-protocol "
+                "(pipe closed before reply)"
+            ) from None
+        self.ipc_bytes += len(blob)
+        kind, payload = pickle.loads(blob)
         if kind == "error":
             raise RuntimeError(f"shard worker failed:\n{payload}")
         return payload
 
     def send_promise(self, ghosts: Sequence[GhostTx]) -> None:
-        self.conn.send(("promise", _pack_ghosts(self._codec, ghosts)))
+        self._send(("promise", _pack_ghosts(self._codec, ghosts)))
 
     def recv_promise(self):
         table, peek, idx = self._recv()
@@ -233,14 +316,33 @@ class _ProcHandle:
 
     def send_execute(self, horizon) -> None:
         idx = self._codec.encode(horizon)
-        self.conn.send(("execute", (self._codec.flush(), idx)))
+        self._send(("execute", (self._codec.flush(), idx)))
 
     def recv_execute(self):
-        table, executed, busy, packed = self._recv()
-        return executed, busy, _unpack_ghosts(self._codec, table, packed)
+        table, executed, busy, packed, epoch = self._recv()
+        return executed, busy, _unpack_ghosts(self._codec, table, packed), epoch
+
+    def send_round(self, horizon, ghosts: Sequence[GhostTx]) -> None:
+        codec = self._codec
+        idx = codec.encode(horizon)
+        packed = [
+            replace(
+                g,
+                start_key=codec.encode(g.start_key),
+                finish_key=codec.encode(g.finish_key),
+            )
+            for g in ghosts
+        ]
+        # One flush covering the horizon and every ghost key.
+        self._send(("round", (codec.flush(), idx, packed)))
+
+    def recv_round(self):
+        table, executed, busy, packed, epoch, peek, kidx = self._recv()
+        ghosts = _unpack_ghosts(self._codec, table, packed)
+        return executed, busy, ghosts, epoch, peek, self._codec.decode(kidx)
 
     def finish(self, until: float) -> ShardResult:
-        self.conn.send(("finish", until))
+        self._send(("finish", until))
         table, result = self._recv()
         self._codec.extend(table)
         result.records = [
@@ -250,7 +352,7 @@ class _ProcHandle:
 
     def close(self) -> None:
         try:
-            self.conn.send(("stop", None))
+            self._send(("stop", None))
         except (BrokenPipeError, OSError):
             pass
         self.proc.join(timeout=30)
@@ -261,60 +363,189 @@ class _ProcHandle:
 
 
 # -------------------------------------------------------------- coordination
-def _coordinate(
-    handles: List, shards: int, until: float
-) -> Tuple[int, float, float]:
-    """Run promise/execute rounds to the horizon.
+def _resolve_ghosts(plane, ghosts: List[GhostTx]) -> List[GhostTx]:
+    """Materialize NaN-compressed ghost positions from the shared plane.
 
-    Returns ``(rounds, critical_path_seconds, busy_seconds_total)`` —
-    the critical path is the sum over rounds of the slowest shard's busy
-    time, i.e. the wallclock a fully parallel execution could achieve
-    (reported by the benchmark alongside actual wallclock, which on a
-    single-CPU host cannot show the speedup); the busy total sums every
-    shard's execution time (critical / (total / shards) measures window
-    balance).
+    Runs at the barrier — every worker is blocked on its next request,
+    so plane reads cannot race a publication (the producer published
+    strictly before the reply that carried the ghost here).
+    """
+    if plane is None:
+        return ghosts
+    out = []
+    for g in ghosts:
+        if math.isnan(g.x):
+            x, y = plane.resolve(g.sender_id, g.start)
+            g = replace(g, x=x, y=y)
+        out.append(g)
+    return out
+
+
+def _check_epoch(plane, shard_index: int, reported: int) -> None:
+    """Defensive epoch barrier: the publication a reply claims must be
+    visible to the coordinator before any ghost it carried is resolved."""
+    if plane is None or not reported:
+        return
+    seen = plane.epoch(shard_index)
+    if seen < reported:
+        raise ShardCoherenceError(
+            f"shared plane epoch for shard {shard_index} is {seen}, but its "
+            f"reply reported {reported}: publication ordering was violated"
+        )
+
+
+def _effective_promises(promises: List, pending: List[List[GhostTx]]):
+    """Compensate pre-delivery promises with pending-ghost floors.
+
+    A piggybacked promise predates the ghosts queued for that shard; a
+    ghost's influence is bounded below by its ``resume`` (completion +
+    SIFS — DCF channel-busy only defers, responses fire off the
+    mirrored ``phy.tx_end``), and its start key time lower-bounds the
+    shard's post-delivery queue floor.
+    """
+    eff = []
+    for (peek, key), ghosts in zip(promises, pending):
+        for g in ghosts:
+            if peek is None or g.start < peek:
+                peek = g.start
+            floor = (g.resume, -_CEIL, ())
+            if floor < key:
+                key = floor
+        eff.append((peek, key))
+    return eff
+
+
+def _coordinate(
+    handles: List, shards: int, until: float, piggyback: bool, plane
+) -> Dict[str, object]:
+    """Run promise/execute rounds to the horizon; returns protocol stats.
+
+    ``critical_path_seconds`` is the sum over rounds of the slowest
+    shard's busy time, i.e. the wallclock a fully parallel execution
+    could achieve (reported by the benchmark alongside actual wallclock,
+    which on a single-CPU host cannot show the speedup);
+    ``busy_seconds_total`` sums every shard's execution time (critical /
+    (total / shards) measures window balance).  ``per_shard_executed``
+    is the deterministic load signal the adaptive-boundary calibration
+    feeds to :func:`rebalanced_boundaries`.  ``ipc_messages`` counts
+    logical protocol messages both directions (bootstrap promise
+    included, finish/stop excluded); with piggybacking a steady-state
+    round costs ``2 * shards`` messages instead of the legacy
+    ``4 * shards``.
     """
     pending: List[List[GhostTx]] = [[] for _ in range(shards)]
     until_bound = (until, _CEIL, ())
     rounds = 0
     critical = 0.0
     busy_total = 0.0
-    while True:
-        for i, handle in enumerate(handles):
-            handle.send_promise(pending[i])
+    executed_by_shard = [0] * shards
+    messages = 0
+    promise_rounds = 0
+    promises: List = []
+
+    def _route(shard_index: int, out: List[GhostTx]) -> None:
+        for ghost in _resolve_ghosts(plane, out):
+            for target in ghost.targets:
+                pending[target].append(ghost)
+
+    if piggyback:
+        # Bootstrap: one legacy promise round seeds the promise vector;
+        # every later promise rides an execute reply.
+        for handle in handles:
+            handle.send_promise([])
         promises = [handle.recv_promise() for handle in handles]
-        pending = [[] for _ in range(shards)]
-        peeks = [p for p, _ in promises if p is not None]
-        floor = min(peeks) if peeks else None
-        if floor is None or floor > until:
-            break
-        cushion = (floor + W_MAX, -_CEIL, ())
-        for i, handle in enumerate(handles):
-            foreign = min(
-                (promises[j][1] for j in range(shards) if j != i),
-                default=INF_KEY,
-            )
-            horizon = min(foreign, cushion, until_bound)
-            handle.send_execute(horizon)
-        executed_total = 0
-        slowest = 0.0
-        for i, handle in enumerate(handles):
-            executed, busy, out = handle.recv_execute()
-            executed_total += executed
-            busy_total += busy
-            if busy > slowest:
-                slowest = busy
-            for ghost in out:
-                for target in ghost.targets:
-                    pending[target].append(ghost)
-        critical += slowest
-        rounds += 1
-        if executed_total == 0 and not any(pending):
-            raise RuntimeError(
-                "shard window protocol stalled: no shard could advance at "
-                f"t={floor!r} (round {rounds})"
-            )
-    return rounds, critical, busy_total
+        messages += 2 * shards
+        promise_rounds += 1
+        while True:
+            eff = _effective_promises(promises, pending)
+            peeks = [p for p, _ in eff if p is not None]
+            floor = min(peeks) if peeks else None
+            if floor is None or floor > until:
+                break
+            cushion = (floor + W_MAX, -_CEIL, ())
+            for i, handle in enumerate(handles):
+                # key_min: different shards' promise keys can ride
+                # time-locked chains; native min() recurses to the roots.
+                foreign = key_min(eff[j][1] for j in range(shards) if j != i)
+                if foreign is None:
+                    foreign = INF_KEY
+                horizon = min(foreign, cushion, until_bound)
+                handle.send_round(horizon, pending[i])
+            delivered = any(pending)
+            pending = [[] for _ in range(shards)]
+            executed_total = 0
+            slowest = 0.0
+            for i, handle in enumerate(handles):
+                executed, busy, out, epoch, peek, key = handle.recv_round()
+                _check_epoch(plane, i, epoch)
+                executed_total += executed
+                executed_by_shard[i] += executed
+                busy_total += busy
+                if busy > slowest:
+                    slowest = busy
+                promises[i] = (peek, key)
+                _route(i, out)
+            messages += 2 * shards
+            critical += slowest
+            rounds += 1
+            if executed_total == 0 and not delivered and not any(pending):
+                raise RuntimeError(
+                    "shard window protocol stalled: no shard could advance "
+                    f"at t={floor!r} (round {rounds})"
+                )
+    else:
+        while True:
+            for i, handle in enumerate(handles):
+                handle.send_promise(pending[i])
+            promises = [handle.recv_promise() for handle in handles]
+            messages += 2 * shards
+            promise_rounds += 1
+            pending = [[] for _ in range(shards)]
+            peeks = [p for p, _ in promises if p is not None]
+            floor = min(peeks) if peeks else None
+            if floor is None or floor > until:
+                break
+            cushion = (floor + W_MAX, -_CEIL, ())
+            for i, handle in enumerate(handles):
+                foreign = key_min(
+                    promises[j][1] for j in range(shards) if j != i
+                )
+                if foreign is None:
+                    foreign = INF_KEY
+                horizon = min(foreign, cushion, until_bound)
+                handle.send_execute(horizon)
+            executed_total = 0
+            slowest = 0.0
+            for i, handle in enumerate(handles):
+                executed, busy, out, epoch = handle.recv_execute()
+                _check_epoch(plane, i, epoch)
+                executed_total += executed
+                executed_by_shard[i] += executed
+                busy_total += busy
+                if busy > slowest:
+                    slowest = busy
+                _route(i, out)
+            messages += 2 * shards
+            critical += slowest
+            rounds += 1
+            if executed_total == 0 and not any(pending):
+                raise RuntimeError(
+                    "shard window protocol stalled: no shard could advance "
+                    f"at t={floor!r} (round {rounds})"
+                )
+    return {
+        "rounds": rounds,
+        "critical_path_seconds": critical,
+        "busy_seconds_total": busy_total,
+        "per_shard_executed": executed_by_shard,
+        "ipc_messages": messages,
+        "promise_rounds": promise_rounds,
+        # Steady-state messages per round: drop one promise round trip
+        # (the piggyback bootstrap / the legacy trailing break round).
+        "ipc_messages_per_round": (
+            (messages - 2 * shards) / rounds if rounds else 0.0
+        ),
+    }
 
 
 # --------------------------------------------------------------- cross check
@@ -342,6 +573,61 @@ def _compare_traces(reference, merged: List[SlimRecord]) -> None:
 
 
 # --------------------------------------------------------------- entry point
+def _make_handles(config, shards: int, cross: bool, capture_all: bool, plane):
+    if cross or shards == 1:
+        return [
+            _InlineHandle(config, i, capture_all, plane=plane)
+            for i in range(shards)
+        ]
+    ctx = multiprocessing.get_context("fork")
+    intern: dict = {}
+    return [
+        _ProcHandle(ctx, config, i, capture_all, intern, plane=plane)
+        for i in range(shards)
+    ]
+
+
+def _make_plane(config, shards: int):
+    if (
+        shards > 1
+        and getattr(config, "shard_plane", True)
+        and config.num_nodes > 0
+        and plane_supported()
+    ):
+        return ShardPlane(config.num_nodes, shards)
+    return None
+
+
+def _calibrated_boundaries(config, shards: int, cross: bool, piggyback: bool):
+    """Measure a calibration prefix under uniform splits; return
+    load-equalized boundaries.
+
+    The load signal is each shard's executed event count — unlike busy
+    CPU seconds it is a pure function of config + seed, so the derived
+    boundaries (and therefore the whole adaptive run) stay
+    deterministic.  The calibration workers are then discarded; the
+    production run rebuilds from scratch with the explicit boundaries,
+    starting at t=0.
+    """
+    calib_until = config.sim_time * config.shard_calibration
+    if calib_until <= 0.0:
+        return None
+    plane = _make_plane(config, shards)
+    handles: List = []
+    try:
+        handles = _make_handles(config, shards, cross, False, plane)
+        stats = _coordinate(handles, shards, calib_until, piggyback, plane)
+    finally:
+        for handle in handles:
+            handle.close()
+        if plane is not None:
+            plane.destroy()
+    loads = stats["per_shard_executed"]
+    if not any(loads):
+        return None
+    return rebalanced_boundaries(0.0, config.width, shards, loads)
+
+
 def run_sharded(config):
     """Execute ``config`` under the sharded runtime and merge the result.
 
@@ -355,27 +641,31 @@ def run_sharded(config):
     shards = config.shards
     cross = config.shard_mode == "cross"
     capture_all = cross or config.keep_trace
+    piggyback = bool(getattr(config, "shard_piggyback", True))
 
+    if (
+        getattr(config, "shard_adaptive", False)
+        and getattr(config, "shard_boundaries", None) is None
+        and shards > 1
+    ):
+        boundaries = _calibrated_boundaries(config, shards, cross, piggyback)
+        if boundaries is not None:
+            config = replace(
+                config, shard_boundaries=boundaries, shard_adaptive=False
+            )
+
+    plane = _make_plane(config, shards)
     handles: List = []
     try:
-        if cross or shards == 1:
-            handles = [
-                _InlineHandle(config, i, capture_all) for i in range(shards)
-            ]
-        else:
-            ctx = multiprocessing.get_context("fork")
-            intern: dict = {}
-            handles = [
-                _ProcHandle(ctx, config, i, capture_all, intern)
-                for i in range(shards)
-            ]
-        rounds, critical, busy_total = _coordinate(
-            handles, shards, config.sim_time
-        )
+        handles = _make_handles(config, shards, cross, capture_all, plane)
+        stats = _coordinate(handles, shards, config.sim_time, piggyback, plane)
         parts = [handle.finish(config.sim_time) for handle in handles]
+        ipc_bytes = sum(getattr(h, "ipc_bytes", 0) for h in handles)
     finally:
         for handle in handles:
             handle.close()
+        if plane is not None:
+            plane.destroy()
 
     if cross:
         from repro.experiments.scenario import Scenario
@@ -390,10 +680,17 @@ def run_sharded(config):
     result = merge_results(config, parts, _wall.perf_counter() - started)
     result.__dict__["shard_stats"] = {
         "shards": shards,
-        "rounds": rounds,
-        "critical_path_seconds": critical,
-        "busy_seconds_total": busy_total,
+        "rounds": stats["rounds"],
+        "critical_path_seconds": stats["critical_path_seconds"],
+        "busy_seconds_total": stats["busy_seconds_total"],
         "transport": "inline" if (cross or shards == 1) else "fork",
         "events": sum(p.processed_events for p in parts),
+        "piggyback": piggyback,
+        "plane": plane is not None,
+        "boundaries": getattr(config, "shard_boundaries", None),
+        "promise_rounds": stats["promise_rounds"],
+        "ipc_messages": stats["ipc_messages"],
+        "ipc_messages_per_round": stats["ipc_messages_per_round"],
+        "ipc_bytes": ipc_bytes,
     }
     return result

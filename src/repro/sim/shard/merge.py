@@ -19,12 +19,14 @@ order) plus per-owned-node counters.  The merge:
 from __future__ import annotations
 
 import heapq
+from functools import cmp_to_key
 from typing import Dict, Iterable, List, Sequence
 
 from repro.experiments.scenario import ScenarioConfig, ScenarioResult
 from repro.metrics.collectors import DeliveryCollector, OverheadCollector
 from repro.metrics.stats import summarize
 from repro.routing.base import RouterStats
+from repro.sim.keyed import key_cmp
 from repro.sim.shard.worker import ShardResult, SlimRecord
 from repro.sim.trace import Tracer
 
@@ -49,9 +51,18 @@ class PacketShim:
         return self._size
 
 
+_KEY_ORDER = cmp_to_key(key_cmp)
+
+
 def merge_records(streams: Sequence[Sequence[SlimRecord]]) -> List[SlimRecord]:
-    """K-way merge of per-shard record streams by causal key."""
-    return list(heapq.merge(*streams, key=lambda r: r.key))
+    """K-way merge of per-shard record streams by causal key.
+
+    Ordered by :func:`~repro.sim.keyed.key_cmp` rather than native
+    tuple comparison: records from different shards at equal times can
+    carry time-locked chains whose native comparison recurses one frame
+    per link (same hazard as the driver's promise mins).
+    """
+    return list(heapq.merge(*streams, key=lambda r: _KEY_ORDER(r.key)))
 
 
 #: Lifecycle fields every shard counts identically (each replays every

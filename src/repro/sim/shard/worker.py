@@ -63,7 +63,7 @@ import repro.net.packet as _packet_mod
 from repro.geo import vecops
 from repro.geo.partition import ColumnPartition, Interval
 from repro.net.mac.frames import MacFrame
-from repro.sim.keyed import CausalKey, KeyedSimulator
+from repro.sim.keyed import CausalKey, KeyedSimulator, key_cmp
 from repro.sim.trace import TraceRecord
 
 if vecops.HAVE_NUMPY:
@@ -133,6 +133,11 @@ class GhostTx:
     end: float
     start_key: CausalKey
     finish_key: CausalKey
+    #: Earliest causal-influence time at the receiver: the mirrored
+    #: completion fires at ``end`` and the fastest reply is SIFS-spaced.
+    #: The piggybacking coordinator uses this to compensate a promise
+    #: computed before the ghost was delivered (see the driver).
+    resume: float = float("inf")
 
 
 @dataclass(frozen=True)
@@ -201,6 +206,7 @@ class ShardBridge:
                 end=tx.end,
                 start_key=(time_, priority, ckey + (2,)),
                 finish_key=finish_event.key,
+                resume=tx.end + worker.sifs,
             )
         )
         # A cross-border transmission caps the rest of this window: the
@@ -226,8 +232,9 @@ def worker_config(config):
     * cross-verification modes drop to their fast halves: the verifiers
       compare against *all* radios, which an ownership-filtered fan-out
       legitimately no longer matches.
-    * ``scheduler_mode="heap"`` — the causal-key tuples need the heap's
-      full-tuple ordering (PR 4 proved heap == wheel pop order).
+    * ``scheduler_mode`` is irrelevant here (the worker injects a
+      :class:`KeyedSimulator`, whose backend follows ``keyed_queue``);
+      pinned to ``"heap"`` only to keep configs canonical.
     * No retention, no sniffer: the worker ships records itself.
     """
     return replace(
@@ -245,7 +252,9 @@ def worker_config(config):
 class ShardWorker:
     """One shard of a sharded run (usable inline or in a worker process)."""
 
-    def __init__(self, config, shard_index: int, capture_all: bool) -> None:
+    def __init__(
+        self, config, shard_index: int, capture_all: bool, plane=None
+    ) -> None:
         # Import here: repro.experiments.scenario imports this package's
         # __init__ for mode validation, so a module-level import back
         # into it would be circular.
@@ -260,15 +269,23 @@ class ShardWorker:
         #: Per-shard packet-uid counter (disjoint ranges across shards).
         self._uid_counter = itertools.count(1 + shard_index * UID_STRIDE)
         with self._uid_scope():
-            self.sim = KeyedSimulator()
+            self.sim = KeyedSimulator(
+                queue_mode=getattr(config, "keyed_queue", "slim")
+            )
             self.scenario = Scenario(worker_config(config), sim=self.sim)
         nodes = self.scenario.nodes
         if nodes:
             self.sifs = nodes[0].mac.params.sifs
 
         # Static home-column ownership from the (replicated, identical)
-        # t=0 placement.  Every shard computes the same map.
-        self.partition = ColumnPartition(0.0, config.width, self.shards)
+        # t=0 placement.  Every shard computes the same map; explicit
+        # (possibly load-rebalanced) boundaries override equal widths.
+        self.partition = ColumnPartition(
+            0.0,
+            config.width,
+            self.shards,
+            boundaries=getattr(config, "shard_boundaries", None),
+        )
         self.owned_by: List[FrozenSet[int]] = [frozenset() for _ in range(self.shards)]
         assign: List[set] = [set() for _ in range(self.shards)]
         for node in nodes:
@@ -361,6 +378,24 @@ class ShardWorker:
                     dtype=bool,
                     count=len(self._own_sorted),
                 )
+
+        #: Shared-memory position plane (optional).  Publication needs
+        #: the array backend; a worker without it never publishes or
+        #: compresses, and since compression is a per-producer decision
+        #: (the coordinator only resolves ghosts that arrive as NaN),
+        #: mixed-capability runs stay correct without negotiation.
+        self.plane = plane
+        self.plane_epoch = 0
+        self._plane_ids = None
+        if (
+            plane is not None
+            and self._shard_rows is not None
+            and self._own_rows is not None
+            and all(nid < plane.num_nodes for nid in self._own_sorted)
+        ):
+            self._plane_ids = np.fromiter(
+                self._own_sorted, dtype=np.intp, count=len(self._own_sorted)
+            )
 
         #: Pending completion events of in-flight transmissions — local
         #: ``phy.tx_end`` and mirrored ghost finishes — paired with the
@@ -603,7 +638,7 @@ class ShardWorker:
             sentinel = self.sim.tx_sentinel_floor(
                 lambda actor: actor is None or actor in exposed
             )
-            if sentinel is not None and sentinel < best:
+            if sentinel is not None and key_cmp(sentinel, best) < 0:
                 best = sentinel
         # Untracked events and in-flight completions are counted even
         # with no node exposed: a completing transmission can trigger a
@@ -681,16 +716,57 @@ class ShardWorker:
         with self._uid_scope():
             while True:
                 head = sim.peek_key()
-                if head is None or head >= horizon:
+                # key_cmp: the horizon embeds foreign chains that can be
+                # time-locked with the local head for thousands of links
+                # (shared slot grid); the native comparison recurses.
+                if head is None or key_cmp(head, horizon) >= 0:
                     break
-                if self.window_barrier is not None and head >= self.window_barrier:
+                if (
+                    self.window_barrier is not None
+                    and key_cmp(head, self.window_barrier) >= 0
+                ):
                     break
                 sim.execute_next()
                 executed += 1
         busy = _wall.process_time() - started
         out = self.bridge.outgoing
         self.bridge.outgoing = []
+        if self._plane_ids is not None:
+            # Publish owned legs at the barrier — strictly before the
+            # round reply, which is what makes the coordinator's plane
+            # reads race-free — then compress the positions of outgoing
+            # ghosts the published legs can reproduce bit-exactly.
+            self.plane_epoch = self.plane.publish_legs(
+                self.shard_index,
+                self._plane_ids,
+                self._aindex._legs,
+                self._own_rows,
+            )
+            out = [
+                replace(g, x=math.nan, y=math.nan)
+                if self.plane.resolvable(g.sender_id, g.start)
+                else g
+                for g in out
+            ]
         return executed, busy, out
+
+    def execute_round(
+        self, horizon: CausalKey, ghosts: Sequence[GhostTx]
+    ) -> Tuple[int, float, List[GhostTx], Optional[float], CausalKey]:
+        """One piggybacked round: deliver, execute, then re-promise.
+
+        Folding the promise into the execute reply halves the
+        steady-state IPC round trips.  The returned promise is computed
+        *before* the next round's ghosts arrive; the coordinator
+        compensates with each pending ghost's ``resume`` floor (a ghost
+        can only defer existing events or trigger SIFS-spaced responses
+        to its completion, never create anything earlier — see the
+        driver's soundness note).
+        """
+        self.deliver_ghosts(ghosts)
+        executed, busy, out = self.execute_window(horizon)
+        peek, key = self.promise()
+        return executed, busy, out, peek, key
 
     # ------------------------------------------------------------- results
     def finish(self, until: float) -> ShardResult:

@@ -1,0 +1,343 @@
+"""Scale-up layer of the sharded runtime: piggybacked promise rounds,
+the shared-memory position plane, adaptive column boundaries, and the
+slim keyed event queue.
+
+Everything here rides the same proof discipline as
+``test_shard_equivalence``: ``shard_mode="cross"`` compares the merged
+shard trace record-by-record against the unmodified single engine and
+raises :class:`ShardCoherenceError` on the first divergence, so a
+passing cross run IS the byte-identical claim for that feature
+combination.  The queue churn tests work one level down, driving
+:class:`KeyedSimulator` directly and asserting the slim (timer-wheel +
+swept index) backend pops the exact sequence the three-heap reference
+does under randomized schedule/cancel/probe churn.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.geo.partition import ColumnPartition, rebalanced_boundaries
+from repro.sim.keyed import KeyedSimulator
+from repro.sim.shard import ShardCoherenceError
+from repro.sim.shard.shmplane import ShardPlane, plane_supported
+from repro.sim.shard.worker import ShardWorker
+from tests.test_shard_equivalence import _cfg, _faulted, _fingerprint
+
+
+# ------------------------------------------------- slim keyed queue churn
+def _churn_log(queue_mode: str, seed: int) -> list:
+    """Drive a KeyedSimulator through randomized churn; return the full
+    observable history (execution order, promise-scan probes).
+
+    The rng is re-seeded per run and drawn from inside event callbacks,
+    so the log is a fixed point of the pop order itself: if the two
+    backends popped in different orders, the rng streams would diverge
+    and so would every subsequent entry.
+    """
+    rng = random.Random(seed)
+    sim = KeyedSimulator(queue_mode=queue_mode)
+    log: list = []
+    live: list = []
+
+    def make_cb(label: str, depth: int):
+        def cb() -> None:
+            log.append((label, round(sim.now, 9)))
+            if depth < 6 and rng.random() < 0.6:
+                child = sim.schedule_at(
+                    sim.now + rng.random(),
+                    make_cb(label + ".", depth + 1),
+                    priority=rng.choice((10, 20, 30)),
+                    name=rng.choice(("app.tick", "mac.slot", "mac.difs")),
+                    actor=rng.choice((None, -1, 0, 1, 2, 3)),
+                )
+                live.append(child)
+            if live and rng.random() < 0.3:
+                live.pop(rng.randrange(len(live))).cancel()
+        return cb
+
+    for i in range(40):
+        ev = sim.schedule_at(
+            rng.random() * 2.0,
+            make_cb(f"r{i}", 0),
+            priority=rng.choice((10, 20, 30)),
+            name=rng.choice(("app.tick", "mac.slot")),
+            actor=rng.choice((None, -1, 0, 1, 2, 3)),
+        )
+        if rng.random() < 0.2:
+            ev.cancel()
+        else:
+            live.append(ev)
+
+    steps = 0
+    while True:
+        if steps % 5 == 0:
+            # The promise scan is where the slim backend's swept indexes
+            # replace the reference min-heaps — probe them mid-churn.
+            log.append(
+                ("probe",)
+                + tuple(sim.actor_next_time(a) for a in range(4))
+                + (sim.untracked_next_time(),)
+            )
+        if not sim.execute_next():
+            break
+        steps += 1
+        assert steps < 20000, "runaway churn"
+    log.append(("drained", round(sim.now, 9), steps))
+    return log
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_slim_queue_matches_threeheap_under_churn(seed):
+    assert _churn_log("slim", seed) == _churn_log("threeheap", seed)
+
+
+def test_keyed_queue_mode_validation():
+    with pytest.raises(ValueError):
+        KeyedSimulator(queue_mode="heapless")
+    assert KeyedSimulator(queue_mode="slim").scheduler_mode == "wheel"
+    assert KeyedSimulator(queue_mode="threeheap").scheduler_mode == "heap"
+
+
+def test_cross_threeheap_reference_byte_identical():
+    """The reference queue still proves byte-identity end to end, so
+    churn equivalence + this pins both backends to the single engine."""
+    result = Scenario(
+        _cfg(5, shard_mode="cross", shards=3, keyed_queue="threeheap")
+    ).run()
+    assert result.sent > 0
+
+
+def test_fork_slim_and_threeheap_results_match():
+    slim = Scenario(_cfg(6, shard_mode="on", shards=2)).run()
+    ref = Scenario(
+        _cfg(6, shard_mode="on", shards=2, keyed_queue="threeheap")
+    ).run()
+    assert _fingerprint(slim) == _fingerprint(ref)
+
+
+# --------------------------------------------------- promise piggybacking
+def test_piggyback_halves_ipc_messages_per_round():
+    pig = Scenario(_cfg(1, shard_mode="on", shards=2)).run()
+    legacy = Scenario(
+        _cfg(1, shard_mode="on", shards=2, shard_piggyback=False)
+    ).run()
+    assert _fingerprint(pig) == _fingerprint(legacy)
+    ps, ls = pig.shard_stats, legacy.shard_stats
+    assert ps["piggyback"] and not ls["piggyback"]
+    # Steady state is exactly 2 messages per shard per round piggybacked
+    # (request + reply) vs 4 legacy (promise round + execute round).
+    assert ps["ipc_messages_per_round"] == pytest.approx(2 * 2, abs=0.01)
+    assert ls["ipc_messages_per_round"] == pytest.approx(4 * 2, abs=0.01)
+    assert ls["ipc_messages"] >= 2 * ps["ipc_messages"] * 0.9
+    assert ps["promise_rounds"] == 1  # the bootstrap round only
+    assert ps["ipc_bytes"] > 0 and ls["ipc_bytes"] > 0
+
+
+def test_cross_legacy_rounds_byte_identical():
+    result = Scenario(
+        _cfg(7, shard_mode="cross", shards=3, shard_piggyback=False)
+    ).run()
+    assert result.sent > 0
+    assert result.shard_stats["piggyback"] is False
+
+
+# ------------------------------------------------- shared position plane
+needs_plane = pytest.mark.skipif(
+    not plane_supported(), reason="shared plane requires numpy"
+)
+
+
+@needs_plane
+def test_fork_plane_enabled_matches_plane_disabled():
+    on = Scenario(_cfg(2, shard_mode="on", shards=2)).run()
+    off = Scenario(_cfg(2, shard_mode="on", shards=2, shard_plane=False)).run()
+    assert _fingerprint(on) == _fingerprint(off)
+    assert on.shard_stats["plane"] is True
+    assert off.shard_stats["plane"] is False
+
+
+@needs_plane
+def test_plane_resolve_matches_position_formula():
+    class Legs:
+        pass
+
+    legs = Legs()
+    legs.ox, legs.oy = [10.0, 5.0], [20.0, 6.0]
+    legs.gx, legs.gy = [110.0, 5.0], [220.0, 6.0]
+    legs.depart, legs.arrive = [1.0, float("inf")], [3.0, float("-inf")]
+    legs.span = [2.0, float("inf")]
+    legs.dgx, legs.dgy = [100.0, 0.0], [200.0, 0.0]
+    import numpy as np
+
+    for field in ("ox", "oy", "gx", "gy", "depart", "arrive", "span", "dgx", "dgy"):
+        setattr(legs, field, np.asarray(getattr(legs, field)))
+    plane = ShardPlane(2, 1)
+    try:
+        assert not plane.resolvable(0, 2.0)  # unpublished rows never resolve
+        epoch = plane.publish_legs(0, np.asarray([0, 1]), legs, np.asarray([0, 1]))
+        assert epoch == plane.epoch(0) == 1
+        assert plane.resolve(0, 0.5) == (10.0, 20.0)  # t <= depart: origin
+        assert plane.resolve(0, 7.0) == (110.0, 220.0)  # t >= arrive: target
+        mx, my = plane.resolve(0, 2.0)  # mid-leg interpolation
+        frac = (2.0 - 1.0) / 2.0
+        assert (mx, my) == (100.0 * frac + 10.0, 200.0 * frac + 20.0)
+        assert not plane.resolvable(1, 1e9)  # fixed row: depart = +inf
+    finally:
+        plane.destroy()
+
+
+def _shm_segments() -> set:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@needs_plane
+def test_killed_worker_leaks_no_shm_segments(monkeypatch):
+    """SIGKILL a worker mid-window: the driver must surface a coherent
+    error and the plane segment must not outlive the run."""
+    before = _shm_segments()
+    original = ShardWorker.execute_window
+
+    def dying(self, horizon):
+        if self.shard_index == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original(self, horizon)
+
+    # Applied pre-fork, so the patched class is inherited by the worker
+    # processes; shard 1 dies the instant its first window opens.
+    monkeypatch.setattr(ShardWorker, "execute_window", dying)
+    with pytest.raises(ShardCoherenceError, match="terminated mid-protocol"):
+        Scenario(_cfg(3, shard_mode="on", shards=2)).run()
+    assert _shm_segments() == before
+
+
+def test_normal_runs_leak_no_shm_segments():
+    before = _shm_segments()
+    Scenario(_cfg(4, shard_mode="on", shards=2)).run()
+    assert _shm_segments() == before
+
+
+# --------------------------------------------------- adaptive boundaries
+def test_rebalanced_boundaries_uniform_load_keeps_equal_width():
+    cuts = rebalanced_boundaries(0.0, 1200.0, 4, [10.0, 10.0, 10.0, 10.0])
+    assert cuts == pytest.approx((300.0, 600.0, 900.0))
+
+
+def test_rebalanced_boundaries_shift_toward_load():
+    # All load in column 0: every cut clamps to its left floor so the
+    # loaded column is carved as finely as min_fraction allows.
+    cuts = rebalanced_boundaries(0.0, 1200.0, 3, [30.0, 0.0, 0.0])
+    assert len(cuts) == 2
+    assert all(b > a for a, b in zip((0.0,) + cuts, cuts))
+    assert cuts[0] < 400.0 and cuts[1] < 800.0  # both pulled left of equal-width
+    # Skew the other way: load on the right pulls cuts right.
+    right = rebalanced_boundaries(0.0, 1200.0, 3, [0.0, 0.0, 30.0])
+    assert right[0] > 400.0 and right[1] > 800.0
+
+
+def test_rebalanced_boundaries_respects_min_fraction_floor():
+    # min_fraction=0.5 makes the clamp binding: the load-equalizing cuts
+    # for an all-left load would carve columns of 62.5 m, but every
+    # column must keep at least half the equal-width size (125 m).
+    cuts = rebalanced_boundaries(
+        0.0, 1000.0, 4, [100.0, 0.0, 0.0, 0.0], min_fraction=0.5
+    )
+    widths = [b - a for a, b in zip((0.0,) + cuts, cuts + (1000.0,))]
+    floor = (1000.0 / 4) * 0.5
+    assert all(w >= floor - 1e-9 for w in widths)
+    assert cuts == pytest.approx((125.0, 250.0, 375.0))
+
+
+def test_rebalanced_boundaries_zero_load_equal_width():
+    assert rebalanced_boundaries(0.0, 900.0, 3, [0, 0, 0]) == pytest.approx(
+        (300.0, 600.0)
+    )
+    assert rebalanced_boundaries(0.0, 900.0, 1, [5]) == ()
+
+
+def test_rebalanced_boundaries_quantized_and_deterministic():
+    loads = [7.0, 3.0, 11.0, 2.0]
+    a = rebalanced_boundaries(0.0, 1234.567, 4, loads)
+    b = rebalanced_boundaries(0.0, 1234.567, 4, loads)
+    assert a == b
+    for cut in a:
+        assert cut == pytest.approx(round(cut / 1e-6) * 1e-6, abs=0.0)
+
+
+def test_column_partition_explicit_boundaries():
+    part = ColumnPartition(0.0, 1200.0, 3, boundaries=(200.0, 900.0))
+    assert part.column_of(100.0) == 0
+    assert part.column_of(200.0) == 1  # cuts are [lo, hi) like equal width
+    assert part.column_of(899.0) == 1
+    assert part.column_of(1150.0) == 2
+    assert part.column_bounds(0) == (0.0, 200.0)
+    assert part.column_bounds(1) == (200.0, 900.0)
+    assert part.column_bounds(2) == (900.0, 1200.0)
+    with pytest.raises(ValueError):
+        ColumnPartition(0.0, 1200.0, 3, boundaries=(200.0,))  # wrong count
+    with pytest.raises(ValueError):
+        ColumnPartition(0.0, 1200.0, 3, boundaries=(900.0, 200.0))  # not sorted
+    with pytest.raises(ValueError):
+        ColumnPartition(0.0, 1200.0, 3, boundaries=(0.0, 900.0))  # on the edge
+
+
+def test_adaptive_boundaries_deterministic_and_equivalent():
+    cfg = _cfg(8, shard_mode="on", shards=3, shard_adaptive=True, shard_calibration=0.5)
+    first = Scenario(cfg).run()
+    second = Scenario(cfg).run()
+    assert first.shard_stats["boundaries"] is not None
+    assert first.shard_stats["boundaries"] == second.shard_stats["boundaries"]
+    assert _fingerprint(first) == _fingerprint(second)
+    # And the rebalanced run still matches the single engine exactly.
+    assert _fingerprint(first) == _fingerprint(Scenario(_cfg(8)).run())
+
+
+def test_cross_adaptive_byte_identical():
+    result = Scenario(
+        _cfg(9, shard_mode="cross", shards=3, shard_adaptive=True, shard_calibration=0.5)
+    ).run()
+    assert result.sent > 0
+    assert result.shard_stats["boundaries"] is not None
+
+
+def test_explicit_boundaries_any_split_same_trace():
+    """The merged trace is a pure function of config + seed, not of the
+    split geometry: two very different explicit splits, one answer."""
+    lop = Scenario(
+        _cfg(10, shard_mode="cross", shards=3, shard_boundaries=(150.0, 1050.0))
+    ).run()
+    mid = Scenario(
+        _cfg(10, shard_mode="cross", shards=3, shard_boundaries=(500.0, 700.0))
+    ).run()
+    assert _fingerprint(lop) == _fingerprint(mid)
+
+
+# ------------------------------------------- everything on, under faults
+@pytest.mark.parametrize("seed", [11, 12])
+def test_cross_all_features_faulted_byte_identical(seed):
+    """Acceptance: piggybacking + shared plane + adaptive boundaries +
+    slim queue, under loss and churn, across seeds — byte-identical."""
+    cfg = _faulted(
+        _cfg(
+            seed,
+            shard_mode="cross",
+            shards=3,
+            shard_adaptive=True,
+            shard_calibration=0.5,
+        )
+    )
+    result = Scenario(cfg).run()
+    assert result.fault_counters["drops_injected"] > 0
+    stats = result.shard_stats
+    assert stats["piggyback"] is True
+    if plane_supported():
+        assert stats["plane"] is True
