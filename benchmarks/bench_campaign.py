@@ -1,0 +1,70 @@
+"""Campaign-layer benchmarks: what the result cache is worth.
+
+``test_campaign_cache`` runs one 8-point campaign matrix twice:
+
+* ``[cold]`` — every round starts from an empty store, so all 8 points
+  simulate (the price of a fresh sweep);
+* ``[warm]`` — the store is pre-filled, so every point is a cache hit
+  and ``run_campaign`` only diffs the matrix against the store (the
+  price of a rerun / resume / report-regeneration cycle).
+
+``bench_to_json.py --suite campaign`` derives
+``campaign_warm_cache_speedup`` = cold mean / warm mean.  Acceptance
+floor (pinned by ``tests/test_campaign.py`` against the committed
+``BENCH_campaign.json``): **>= 10x** — a completed campaign must cost
+next to nothing to rerun, because resumability is only useful when the
+already-done part is effectively free.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign, spec_from_mapping
+
+#: The benchmark matrix: 2 protocols x 2 densities x 2 seeds = 8 points,
+#: sized so a cold round stays sub-second while still dominating the
+#: cache-diff overhead by orders of magnitude.
+_SPEC = {
+    "name": "bench",
+    "seed": 3,
+    "seeds": 2,
+    "metrics": ["delivery_fraction", "mean_latency_ms"],
+    "base": {
+        "sim_time": 2.0,
+        "num_flows": 3,
+        "num_senders": 3,
+        "traffic_start": [0.5, 1.0],
+    },
+    "axes": {"protocol": ["gpsr", "agfw"], "num_nodes": [12, 16]},
+}
+
+
+@pytest.mark.benchmark(group="campaign")
+@pytest.mark.parametrize("mode", ["cold", "warm"])
+def test_campaign_cache(benchmark, mode, tmp_path):
+    spec = spec_from_mapping(_SPEC)
+    total = len(spec.points())
+    warm_root = tmp_path / "warm"
+    if mode == "warm":
+        filled = run_campaign(spec, ResultStore(warm_root))
+        assert filled.executed == total
+    fresh = itertools.count()
+
+    def setup():
+        if mode == "warm":
+            store = ResultStore(warm_root)
+        else:
+            store = ResultStore(tmp_path / f"cold{next(fresh)}")
+        return (store,), {}
+
+    def run(store):
+        return run_campaign(spec, store)
+
+    summary = benchmark.pedantic(run, setup=setup, rounds=3)
+    if mode == "warm":
+        assert (summary.cached, summary.executed) == (total, 0)
+    else:
+        assert (summary.cached, summary.executed) == (0, total)

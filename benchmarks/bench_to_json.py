@@ -63,6 +63,10 @@ Suites:
   mobility micro-kernels (object/scalar vs numpy-batched; acceptance
   floor 5x each) and a 150-node end-to-end scenario with the fast
   stack off vs on (floor 1.3x).
+* ``campaign`` — the campaign layer (PR 10): one 8-point matrix run
+  cold (empty store) vs warm (pre-filled store); derived
+  ``campaign_warm_cache_speedup`` (acceptance floor: 10x — reruns of a
+  completed campaign must be effectively free).
 * ``shard`` — sharded execution (PR 8, scaled up in PR 9): clustered
   community scenarios at 150/600/2000 nodes vs 4 column shards plus a
   10000-node point vs 8 shards; derived ``shard4_speedup_<n>_nodes``
@@ -189,6 +193,15 @@ SUITES: dict[str, dict] = {
             ),
         },
     },
+    "campaign": {
+        "file": "bench_campaign.py",
+        "derived": {
+            "campaign_warm_cache_speedup": (
+                "test_campaign_cache[cold]",
+                "test_campaign_cache[warm]",
+            ),
+        },
+    },
     "engine": {
         "file": "bench_engine.py",
         "derived": {
@@ -292,16 +305,21 @@ def aggregate(bench_dir: pathlib.Path) -> dict:
     benchmarks: dict[str, dict] = {}
     derived: dict[str, float] = {}
     found = []
-    for suite in sorted(SUITES):
-        path = bench_dir / f"BENCH_{suite}.json"
-        if not path.exists():
-            continue
+    # sorted(): glob yields entries in filesystem order (the DET-012 bug
+    # class), which would leak machine-dependent ordering into the
+    # committed perf-history document.  Discovery is by filename, not by
+    # the SUITES registry, so a committed baseline survives aggregation
+    # even when its suite definition has moved on.
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
         document = json.loads(path.read_text(encoding="utf-8"))
         if document.get("schema_version") != SCHEMA_VERSION:
             raise SystemExit(
                 f"{path.name}: schema_version "
                 f"{document.get('schema_version')!r} != {SCHEMA_VERSION}"
             )
+        suite = document.get("suite") or path.stem[len("BENCH_"):]
+        if suite == "all":
+            continue  # never fold a combined document into itself
         found.append(suite)
         for name, entry in document.get("benchmarks", {}).items():
             benchmarks[f"{suite}:{name}"] = entry

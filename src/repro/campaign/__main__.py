@@ -1,0 +1,7 @@
+"""``python -m repro.campaign`` — see :mod:`repro.campaign.cli`."""
+
+import sys
+
+from repro.campaign.cli import main
+
+sys.exit(main())

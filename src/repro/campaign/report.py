@@ -1,0 +1,215 @@
+"""Deterministic stats/report stage over a completed campaign store.
+
+For every sweep the report renders, per metric:
+
+* an aligned **rows x cols table** (cells average the seed replicates —
+  the honest value when ``seeds > 1``, the raw value when ``seeds=1``);
+* **crossover lines** — for each column pair, the row intervals where
+  their ordering flips (the Fig. 1 "GPSR's latency overtakes AGFW past
+  112 nodes" class of claim, detected mechanically);
+* a **percentile block** — n/mean/p50/p95/min/max per column over all
+  cells x seeds (:mod:`repro.metrics.stats`, which rejects NaN/inf).
+
+Everything is a pure function of (spec, stored records): no wall clock,
+no filesystem order, no float repr ambiguity — so a report after an
+interrupted-and-resumed parallel campaign is byte-identical to one after
+a cold sequential run.  That property is pinned by tests and the CI
+smoke job.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.digest import config_digest
+from repro.campaign.spec import CampaignPoint, CampaignSpec, SweepSpec
+from repro.campaign.store import ResultStore
+from repro.metrics.stats import percentile
+
+__all__ = ["IncompleteCampaignError", "campaign_report"]
+
+#: Fixed-width cell renderings per metric (default: general format).
+_CELL_FORMATS = {
+    "delivery_fraction": "{:>12.3f}",
+    "mean_latency_ms": "{:>12.2f}",
+    "latency_p50_ms": "{:>12.2f}",
+    "latency_p95_ms": "{:>12.2f}",
+    "overhead_ratio": "{:>12.3f}",
+    "sent": "{:>12d}",
+    "delivered": "{:>12d}",
+    "collisions": "{:>12d}",
+}
+_EMPTY_CELL = " " * 12
+
+
+class IncompleteCampaignError(RuntimeError):
+    """The store is missing points; run the campaign (again) first."""
+
+
+def _cell(metric: str, value: Optional[float]) -> str:
+    if value is None:
+        return _EMPTY_CELL
+    fmt = _CELL_FORMATS.get(metric, "{:>12.4g}")
+    if fmt.endswith("d}"):
+        return fmt.format(int(value))
+    return fmt.format(float(value))
+
+
+def _layout(sweep: SweepSpec) -> Tuple[str, Optional[str], List[str]]:
+    """(rows axis, cols axis or None, panel axes) for one sweep."""
+    names = sweep.axis_names()
+    cols = sweep.cols
+    if cols is None and "protocol" in names and len(names) > 1:
+        cols = "protocol"
+    rows = sweep.rows
+    if rows is None:
+        rows = next((n for n in names if n != cols), names[0])
+    if cols == rows:
+        cols = None
+    panels = [n for n in names if n not in (rows, cols)]
+    return rows, cols, panels
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _crossover_lines(
+    metric: str,
+    rows_axis: str,
+    row_values: Sequence[object],
+    col_names: Sequence[str],
+    cells: Dict[Tuple[object, str], Optional[float]],
+) -> List[str]:
+    """Where the ordering of two columns flips along the row axis."""
+    lines: List[str] = []
+    for a, b in combinations(col_names, 2):
+        previous: Optional[Tuple[int, object]] = None
+        for row in row_values:
+            va, vb = cells.get((row, a)), cells.get((row, b))
+            if va is None or vb is None:
+                continue
+            sign = (va > vb) - (va < vb)
+            if sign == 0:
+                continue
+            if previous is not None and sign != previous[0]:
+                lines.append(
+                    f"crossover[{metric}]: {a} vs {b} flips between "
+                    f"{rows_axis}={previous[1]} and {rows_axis}={row}"
+                )
+            previous = (sign, row)
+    return lines
+
+
+def _percentile_block(
+    metric: str,
+    col_names: Sequence[str],
+    samples: Dict[str, List[float]],
+) -> List[str]:
+    lines = [
+        f"{metric} percentiles"
+        + f"{'n':>8}{'mean':>12}{'p50':>12}{'p95':>12}{'min':>12}{'max':>12}"
+    ]
+    width = len(f"{metric} percentiles")
+    for col in col_names:
+        values = samples.get(col, [])
+        if not values:
+            continue
+        lines.append(
+            f"{col:<{width}}"
+            + f"{len(values):>8d}"
+            + _cell(metric, _mean(values))
+            + _cell(metric, percentile(values, 50))
+            + _cell(metric, percentile(values, 95))
+            + _cell(metric, min(values))
+            + _cell(metric, max(values))
+        )
+    return lines
+
+
+def _sweep_section(
+    spec: CampaignSpec,
+    sweep: SweepSpec,
+    records: Dict[str, Dict[str, object]],
+    points: Sequence[Tuple[CampaignPoint, str]],
+) -> List[str]:
+    rows_axis, cols_axis, panel_axes = _layout(sweep)
+    axes = dict(sweep.axes)
+    row_values = list(axes[rows_axis])
+    col_names = [str(v) for v in axes[cols_axis]] if cols_axis else ["value"]
+    panel_combos = list(product(*(axes[name] for name in panel_axes)))
+
+    sweep_points = [(p, d) for p, d in points if p.sweep == sweep.name]
+    lines: List[str] = []
+    for combo in panel_combos:
+        panel_sel = dict(zip(panel_axes, combo))
+        title = f"## sweep {sweep.name!r}"
+        if panel_sel:
+            title += " [" + ", ".join(f"{k}={v}" for k, v in panel_sel.items()) + "]"
+        lines.append(title)
+        # Cell samples: (row value, column name) -> all replicate values.
+        for metric in spec.metrics:
+            samples: Dict[Tuple[object, str], List[float]] = {}
+            col_samples: Dict[str, List[float]] = {}
+            for point, digest in sweep_points:
+                coords = dict(point.axes)
+                if any(coords[k] != v for k, v in panel_sel.items()):
+                    continue
+                col = str(coords[cols_axis]) if cols_axis else "value"
+                value = records[digest]["metrics"].get(metric)  # type: ignore[union-attr]
+                if value is None:
+                    continue
+                samples.setdefault((coords[rows_axis], col), []).append(float(value))
+                col_samples.setdefault(col, []).append(float(value))
+            cells: Dict[Tuple[object, str], Optional[float]] = {
+                key: _mean(values) for key, values in samples.items()
+            }
+            lines.append("")
+            lines.append(
+                f"{metric} ({rows_axis} x {cols_axis or 'value'}, "
+                f"mean of {spec.seeds} seed{'s' if spec.seeds != 1 else ''})"
+            )
+            header = f"{rows_axis:>12}" + "".join(f"{c:>12}" for c in col_names)
+            lines.append(header)
+            for row in row_values:
+                rendered = "".join(
+                    _cell(metric, cells.get((row, col))) for col in col_names
+                )
+                lines.append(f"{str(row):>12}" + rendered)
+            lines.extend(
+                _crossover_lines(metric, rows_axis, row_values, col_names, cells)
+            )
+            if len(col_samples.get(col_names[0], [])) > 1:
+                lines.append("")
+                lines.extend(_percentile_block(metric, col_names, col_samples))
+        lines.append("")
+    return lines
+
+
+def campaign_report(spec: CampaignSpec, store: ResultStore) -> str:
+    """Render the full campaign report; raises when points are missing."""
+    points = [(point, config_digest(point.config)) for point in spec.points()]
+    records: Dict[str, Dict[str, object]] = {}
+    missing: List[str] = []
+    for point, digest in points:
+        record = store.get(digest)
+        if record is None:
+            missing.append(point.label)
+        else:
+            records[digest] = record
+    if missing:
+        raise IncompleteCampaignError(
+            f"{len(missing)} of {len(points)} points missing from "
+            f"{store.root} (first: {missing[0]}); run the campaign first"
+        )
+    cells = len(points) // spec.seeds if spec.seeds else 0
+    lines = [
+        f"# campaign {spec.name!r} — {len(points)} points "
+        f"({cells} cells x {spec.seeds} seed"
+        f"{'s' if spec.seeds != 1 else ''}), master seed {spec.seed}",
+        "",
+    ]
+    for sweep in spec.sweeps:
+        lines.extend(_sweep_section(spec, sweep, records, points))
+    return "\n".join(lines).rstrip("\n") + "\n"

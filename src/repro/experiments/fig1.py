@@ -124,6 +124,7 @@ def run_fig1(
         configs,
         jobs=jobs,
         shards=template.shards if template.shard_mode == "on" else 1,
+        describe=lambda c: f"fig1:{c.protocol}:n={c.num_nodes}:seed={c.seed}",
     )
 
 

@@ -5,6 +5,10 @@ the paper at a configurable scale and prints the same series the paper
 reports.  ``--full`` uses the paper's 900 s horizon (slow: pure-Python
 discrete-event simulation); the default is a scaled-down sweep that
 preserves the shapes.
+
+``python -m repro.experiments.runner campaign run|status|report <spec>``
+mounts the sweep-campaign CLI (declarative matrix + content-addressed
+result cache; see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
@@ -41,6 +45,15 @@ __all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        # Sweep campaigns (declarative matrix + cached result store) are
+        # a subcommand so `runner` stays the one entry point; see
+        # repro.campaign.cli for run | status | report.
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="paper-scale 900 s runs")
     parser.add_argument("--sim-time", type=float, default=None, help="seconds per point")

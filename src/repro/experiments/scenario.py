@@ -16,7 +16,7 @@ you need to attach sniffers or poke at nodes before running.
 from __future__ import annotations
 
 import time as _wall
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass, field as dc_field, fields as dc_fields, is_dataclass
 from typing import Dict, List, Optional
 
 from repro.adversary.sniffer import GlobalSniffer
@@ -238,6 +238,43 @@ class ScenarioConfig:
                     0.0, self.width, self.shards,
                     boundaries=tuple(self.shard_boundaries),
                 )
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """A JSON-stable encoding of this config for content addressing.
+
+        The campaign layer (:mod:`repro.campaign`) keys its result store
+        on a digest of this form, so it must be a pure function of the
+        config's *values*: dataclasses (including nested
+        :class:`~repro.faults.plan.FaultPlan` schedules) flatten to
+        tagged dicts with sorted field names, tuples become lists, and
+        dict keys are stringified and sorted.  Two configs that would
+        simulate identically encode identically across processes,
+        machines, and interpreter restarts.
+        """
+        return _canonical_value(self)  # type: ignore[return-value]
+
+
+def _canonical_value(value: object) -> object:
+    if is_dataclass(value) and not isinstance(value, type):
+        encoded: Dict[str, object] = {
+            name: _canonical_value(getattr(value, name))
+            for name in sorted(f.name for f in dc_fields(value))
+        }
+        encoded["__type__"] = type(value).__qualname__
+        return encoded
+    if isinstance(value, (tuple, list)):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            str(key): _canonical_value(item)
+            for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"config field of type {type(value).__name__} has no canonical "
+        f"encoding: {value!r}"
+    )
 
 
 @dataclass

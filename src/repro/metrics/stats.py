@@ -13,12 +13,26 @@ from typing import Iterable, List, Sequence
 __all__ = ["Summary", "summarize", "percentile", "mean_confidence_interval"]
 
 
+def _require_finite(values: Sequence[float], what: str) -> None:
+    """Reject NaN/inf samples up front.
+
+    ``sorted()`` over NaNs is order-dependent garbage (NaN compares
+    false with everything, so its final position depends on the input
+    permutation) and a single inf poisons every mean/stdev — both would
+    silently corrupt percentile ranks rather than fail.
+    """
+    for v in values:
+        if not math.isfinite(v):
+            raise ValueError(f"{what} requires finite values, got {v!r}")
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile, q in [0, 100]."""
     if not values:
         raise ValueError("percentile of empty sequence")
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
+    _require_finite(values, "percentile")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -68,6 +82,7 @@ def summarize(values: Iterable[float]) -> Summary:
     data: List[float] = list(values)
     if not data:
         raise ValueError("summarize of empty sequence")
+    _require_finite(data, "summarize")
     n = len(data)
     mean = sum(data) / n
     stdev = math.sqrt(sum((v - mean) ** 2 for v in data) / (n - 1)) if n > 1 else 0.0

@@ -131,3 +131,24 @@ def test_overhead_collector_unknown_kind_zero():
     collector = OverheadCollector(Tracer())
     assert collector.frames_of("nope") == 0
     assert collector.bytes_of("nope") == 0
+
+
+def test_percentile_rejects_nan_and_inf():
+    """Regression: NaN compares false against everything, so sorted()
+    leaves it wherever the input order happened to put it and percentile
+    silently returned an order-dependent rank.  Now it refuses."""
+    with pytest.raises(ValueError, match="finite"):
+        percentile([1.0, float("nan"), 2.0], 50)
+    with pytest.raises(ValueError, match="finite"):
+        percentile([float("nan"), 1.0, 2.0], 50)
+    with pytest.raises(ValueError, match="finite"):
+        percentile([1.0, float("inf")], 95)
+    with pytest.raises(ValueError, match="finite"):
+        percentile([-float("inf"), 1.0], 5)
+
+
+def test_summarize_rejects_nan_and_inf():
+    with pytest.raises(ValueError, match="finite"):
+        summarize([0.5, float("nan")])
+    with pytest.raises(ValueError, match="finite"):
+        summarize([0.5, float("inf"), 1.0])

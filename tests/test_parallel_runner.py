@@ -323,3 +323,72 @@ def test_bench_distill_crypto_suite_derived_ratios():
     assert document["derived"]["hello_verify_cached_speedup"] == 9.0
     # Ratios whose benchmarks did not run are omitted, not zeroed.
     assert "trapdoor_open_cached_speedup" not in document["derived"]
+
+
+# ------------------------------------------- hard worker death (PR 10)
+def _die_on_marker(item: str) -> str:
+    """Worker: SIGKILL its own process on the marked item — the closest
+    stand-in for an OOM kill the kernel can deliver."""
+    import os
+    import signal
+
+    if item == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return item
+
+
+def test_parallel_map_surfaces_hard_worker_death():
+    """Regression: multiprocessing.Pool.map hangs forever when a worker
+    is killed hard (its task is simply lost).  parallel_map must instead
+    raise WorkerCrashError naming every unfinished point."""
+    from repro.experiments.parallel import WorkerCrashError
+
+    with pytest.raises(WorkerCrashError, match="terminated abruptly") as err:
+        parallel_map(
+            _die_on_marker,
+            ["alpha", "die", "beta", "gamma"],
+            jobs=2,
+            describe=lambda item: f"point:{item}",
+        )
+    # The crashed point is indistinguishable from in-flight siblings, so
+    # it must be among the reported unfinished points.
+    assert "point:die" in str(err.value)
+    assert "point:die" in err.value.points
+
+
+def test_parallel_map_worker_death_leaves_completed_results_unreported():
+    # Sanity: the same marker item runs fine inline (no pool to crash).
+    assert parallel_map(_die_on_marker, ["alpha"], jobs=4) == ["alpha"]
+
+
+def test_bench_aggregate_enumerates_sorted_regardless_of_discovery_order(
+    tmp_path, monkeypatch
+):
+    """Regression (DET-012 class): aggregate() must not depend on
+    filesystem enumeration order, which is machine- and history-
+    dependent.  Shuffle what glob returns; the document must not move."""
+    import json
+    import random
+
+    harness = _load_bench_to_json()
+    for suite in ("zulu", "alpha", "mike"):
+        doc = {
+            "schema_version": 1,
+            "suite": suite,
+            "benchmarks": {f"bench_{suite}": {"mean_s": 0.01, "stddev_s": 0.0, "rounds": 3}},
+            "derived": {f"{suite}_ratio": 2.0},
+        }
+        (tmp_path / f"BENCH_{suite}.json").write_text(json.dumps(doc), encoding="utf-8")
+
+    baseline = harness.aggregate(tmp_path)
+    real_glob = pathlib.Path.glob
+    for shuffle_seed in (1, 2, 3):
+        def shuffled(self, pattern, _seed=shuffle_seed):
+            entries = list(real_glob(self, pattern))
+            random.Random(_seed).shuffle(entries)
+            return iter(entries)
+
+        monkeypatch.setattr(pathlib.Path, "glob", shuffled)
+        assert harness.aggregate(tmp_path) == baseline
+        monkeypatch.undo()
+    assert baseline["suites"] == ["alpha", "mike", "zulu"]
